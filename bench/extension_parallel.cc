@@ -1,0 +1,76 @@
+// Extension bench: declustered parallel I/O, the alternative cure for the
+// dimensionality curse the paper cites ([Ber+ 97], "exploiting parallelism
+// for an efficient nearest neighbor search"). Pages are spread round-robin
+// over D simulated disks; a query's parallel I/O time is the *maximum*
+// per-disk read count. Both the R*-tree NN search and the NN-cell point
+// query parallelize well, because their page sets are spread across the
+// whole file.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const size_t dim = 10;
+  const size_t n = Scaled(1500, config.scale, 100);
+  PointSet pts = GenerateUniform(n, dim, config.seed);
+  PointSet queries = GenerateQueries(config.queries, dim, config.seed ^ 3);
+
+  PointTreeSetup rstar = BuildPointTree(pts, false, config);
+  NNCellOptions opts;
+  opts.algorithm = RecommendedAlgorithm(dim);
+  NNCellSetup nncell = BuildNNCell(pts, opts, config);
+
+  std::printf(
+      "Extension: declustered parallel NN search [Ber+ 97], d=%zu, N=%zu\n"
+      "parallel I/O depth = max per-disk page reads per query (cold)\n\n",
+      dim, n);
+  Table table({"disks", "R*-depth", "R*-speedup", "NNcell-depth",
+               "NNcell-speedup"});
+  double r_base = 0.0, c_base = 0.0;
+  for (size_t disks : {1u, 2u, 4u, 8u, 16u}) {
+    rstar.file->SetDeclustering(disks);
+    nncell.file->SetDeclustering(disks);
+    uint64_t r_depth = 0, c_depth = 0;
+    for (size_t t = 0; t < queries.size(); ++t) {
+      rstar.pool->DropCache();
+      rstar.file->ResetStats();
+      auto rr = rstar.tree->NnBranchAndBound(queries[t]);
+      NNCELL_CHECK(rr.has_value());
+      r_depth += rstar.file->MaxDiskReads();
+
+      nncell.pool->DropCache();
+      nncell.file->ResetStats();
+      auto cr = nncell.index->Query(queries[t]);
+      NNCELL_CHECK(cr.ok());
+      c_depth += nncell.file->MaxDiskReads();
+    }
+    double nq = static_cast<double>(queries.size());
+    double r_avg = static_cast<double>(r_depth) / nq;
+    double c_avg = static_cast<double>(c_depth) / nq;
+    if (disks == 1) {
+      r_base = r_avg;
+      c_base = c_avg;
+    }
+    table.AddRow({Table::Int(disks), Table::Num(r_avg, 1),
+                  Table::Num(r_base / std::max(r_avg, 1e-9), 2),
+                  Table::Num(c_avg, 1),
+                  Table::Num(c_base / std::max(c_avg, 1e-9), 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 4 of the paper: comparison of the four approximation algorithms
+// (Correct, Point, Sphere, NN-Direction).
+//   (a) Performance: time to compute the approximations (== insertion
+//       time), per dimension.
+//   (b) Quality: overlap of the approximations (expected candidate cells
+//       per point query), per dimension.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const std::vector<size_t> dims = {4, 8, 12, 16};
+  const std::vector<ApproxAlgorithm> algorithms = {
+      ApproxAlgorithm::kCorrect, ApproxAlgorithm::kPoint,
+      ApproxAlgorithm::kSphere, ApproxAlgorithm::kNNDirection};
+  const size_t n = Scaled(250, config.scale, 20);
+
+  std::printf("Figure 4: approximation algorithms, N=%zu uniform points\n\n",
+              n);
+  Table perf({"dim", "Correct", "Point", "Sphere", "NN-Direction"});
+  Table quality({"dim", "Correct", "Point", "Sphere", "NN-Direction"});
+
+  for (size_t dim : dims) {
+    PointSet pts = GenerateUniform(n, dim, config.seed + dim);
+    std::vector<std::string> perf_row = {Table::Int(dim)};
+    std::vector<std::string> quality_row = {Table::Int(dim)};
+    for (ApproxAlgorithm alg : algorithms) {
+      NNCellOptions opts;
+      opts.algorithm = alg;
+      NNCellSetup setup = BuildNNCell(pts, opts, config);
+      perf_row.push_back(Table::Num(setup.build_seconds, 3));
+      quality_row.push_back(Table::Num(setup.index->ExpectedCandidates(), 2));
+    }
+    perf.AddRow(perf_row);
+    quality.AddRow(quality_row);
+  }
+
+  std::printf("(a) Performance: total approximation time [s]\n");
+  perf.Print();
+  std::printf("(b) Quality: overlap (expected candidate cells per query)\n");
+  quality.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

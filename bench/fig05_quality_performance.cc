@@ -1,0 +1,58 @@
+// Figure 5 of the paper: quality-to-performance ratio of the four
+// approximation algorithms for d = 4, 8, 12, 16. Higher is better; the
+// paper finds Sphere best for lower dimensions and NN-Direction best for
+// d >= 12.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const std::vector<size_t> dims = {4, 8, 12, 16};
+  const std::vector<ApproxAlgorithm> algorithms = {
+      ApproxAlgorithm::kCorrect, ApproxAlgorithm::kPoint,
+      ApproxAlgorithm::kSphere, ApproxAlgorithm::kNNDirection};
+  const size_t n = Scaled(250, config.scale, 20);
+
+  std::printf(
+      "Figure 5: quality-to-performance ratio, N=%zu uniform points\n"
+      "ratio = 1 / (overlap * build_seconds); higher is better\n\n",
+      n);
+  Table table({"dim", "Correct", "Point", "Sphere", "NN-Direction", "best"});
+  for (size_t dim : dims) {
+    std::vector<std::string> row = {Table::Int(dim)};
+    double best_ratio = -1.0;
+    const char* best_name = "?";
+    for (ApproxAlgorithm alg : algorithms) {
+      NNCellOptions opts;
+      opts.algorithm = alg;
+      PointSet pts = GenerateUniform(n, dim, config.seed + dim);
+      NNCellSetup setup = BuildNNCell(pts, opts, config);
+      double overlap = setup.index->ExpectedCandidates();
+      double ratio = 1.0 / (overlap * std::max(setup.build_seconds, 1e-6));
+      row.push_back(Table::Num(ratio, 2));
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_name = ApproxAlgorithmName(alg);
+      }
+    }
+    row.push_back(best_name);
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

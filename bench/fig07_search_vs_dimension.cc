@@ -1,0 +1,54 @@
+// Figure 7 of the paper: total NN search time of the NN-cell approach vs.
+// a classic NN search on the R*-tree and the X-tree, for growing
+// dimensionality on uniformly distributed points. The paper's headline:
+// comparable in low dimensions, NN-cell clearly fastest in high dimensions.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const std::vector<size_t> dims = {4, 6, 8, 10, 12, 14, 16};
+  const size_t n = Scaled(1200, config.scale, 50);
+
+  std::printf(
+      "Figure 7: total search time vs dimension, N=%zu uniform points,\n"
+      "%zu cold NN queries, page latency %.1f ms\n\n",
+      n, config.queries, config.page_latency_ms);
+  Table table({"dim", "R*-tree[ms]", "X-tree[ms]", "NN-cell[ms]"});
+  for (size_t dim : dims) {
+    PointSet pts = GenerateUniform(n, dim, config.seed + dim);
+    PointSet queries = GenerateQueries(config.queries, dim, config.seed ^ dim);
+
+    PointTreeSetup rstar = BuildPointTree(pts, /*use_xtree=*/false, config);
+    QueryCost r_cost = MeasurePointTreeNN(rstar, queries, config);
+
+    PointTreeSetup xtree = BuildPointTree(pts, /*use_xtree=*/true, config);
+    QueryCost x_cost = MeasurePointTreeNN(xtree, queries, config);
+
+    NNCellOptions opts;
+    opts.algorithm = RecommendedAlgorithm(dim);
+    NNCellSetup nncell = BuildNNCell(pts, opts, config);
+    QueryCost c_cost = MeasureNNCellQueries(nncell, queries, config);
+
+    table.AddRow({Table::Int(dim), Table::Num(r_cost.total_ms, 2),
+                  Table::Num(x_cost.total_ms, 2),
+                  Table::Num(c_cost.total_ms, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 8 of the paper: speed-up of the NN-cell approach over the R*-tree
+// depending on the dimensionality (the paper reaches >325% at d=16).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const std::vector<size_t> dims = {4, 6, 8, 10, 12, 14, 16};
+  const size_t n = Scaled(1200, config.scale, 50);
+
+  std::printf(
+      "Figure 8: speed-up of the NN-cell approach over the R*-tree,\n"
+      "N=%zu uniform points, %zu cold NN queries\n\n",
+      n, config.queries);
+  Table table({"dim", "R*[ms]", "NN-cell[ms]", "speedup[%]"});
+  for (size_t dim : dims) {
+    PointSet pts = GenerateUniform(n, dim, config.seed + dim);
+    PointSet queries = GenerateQueries(config.queries, dim, config.seed ^ dim);
+
+    PointTreeSetup rstar = BuildPointTree(pts, /*use_xtree=*/false, config);
+    QueryCost r_cost = MeasurePointTreeNN(rstar, queries, config);
+
+    NNCellOptions opts;
+    opts.algorithm = RecommendedAlgorithm(dim);
+    NNCellSetup nncell = BuildNNCell(pts, opts, config);
+    QueryCost c_cost = MeasureNNCellQueries(nncell, queries, config);
+
+    double speedup = 100.0 * r_cost.total_ms / std::max(c_cost.total_ms, 1e-9);
+    table.AddRow({Table::Int(dim), Table::Num(r_cost.total_ms, 2),
+                  Table::Num(c_cost.total_ms, 2), Table::Num(speedup, 0)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

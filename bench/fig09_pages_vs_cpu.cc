@@ -1,0 +1,59 @@
+// Figure 9 of the paper: page accesses versus CPU time, per dimension, for
+// the R*-tree, the X-tree and the NN-cell approach. The paper observes:
+// the NN-cell approach beats the R*-tree in both metrics; against the
+// X-tree it wins on CPU time (a point query needs no min-max sorting)
+// while page accesses are comparable.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const std::vector<size_t> dims = {4, 6, 8, 10, 12, 14, 16};
+  const size_t n = Scaled(1200, config.scale, 50);
+
+  std::printf(
+      "Figure 9: page accesses vs CPU time per NN query,\n"
+      "N=%zu uniform points, %zu cold queries\n\n",
+      n, config.queries);
+  Table pages({"dim", "R*-pages", "X-pages", "NNcell-pages"});
+  Table cpu({"dim", "R*-cpu[ms]", "X-cpu[ms]", "NNcell-cpu[ms]"});
+  for (size_t dim : dims) {
+    PointSet pts = GenerateUniform(n, dim, config.seed + dim);
+    PointSet queries = GenerateQueries(config.queries, dim, config.seed ^ dim);
+
+    PointTreeSetup rstar = BuildPointTree(pts, false, config);
+    QueryCost r = MeasurePointTreeNN(rstar, queries, config);
+    PointTreeSetup xtree = BuildPointTree(pts, true, config);
+    QueryCost x = MeasurePointTreeNN(xtree, queries, config);
+    NNCellOptions opts;
+    opts.algorithm = RecommendedAlgorithm(dim);
+    NNCellSetup nncell = BuildNNCell(pts, opts, config);
+    QueryCost c = MeasureNNCellQueries(nncell, queries, config);
+
+    pages.AddRow({Table::Int(dim), Table::Num(r.page_accesses, 1),
+                  Table::Num(x.page_accesses, 1),
+                  Table::Num(c.page_accesses, 1)});
+    cpu.AddRow({Table::Int(dim), Table::Num(r.cpu_ms, 3),
+                Table::Num(x.cpu_ms, 3), Table::Num(c.cpu_ms, 3)});
+  }
+  std::printf("(a) Page accesses per query\n");
+  pages.Print();
+  std::printf("(b) CPU time per query [ms]\n");
+  cpu.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

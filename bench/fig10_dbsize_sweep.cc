@@ -1,0 +1,65 @@
+// Figure 10 of the paper: total search time / page accesses / CPU time as
+// a function of the database size at d=10 (uniform data). The NN-cell
+// approach shows logarithmic behaviour in N.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const size_t dim = 10;
+  std::vector<size_t> sizes;
+  for (size_t base : {500, 1000, 2000, 4000}) {
+    sizes.push_back(Scaled(base, config.scale, 50));
+  }
+
+  std::printf(
+      "Figure 10: total search time vs database size, d=%zu uniform,\n"
+      "%zu cold NN queries\n\n",
+      dim, config.queries);
+  Table total({"N", "R*[ms]", "X-tree[ms]", "NN-cell[ms]"});
+  Table pages({"N", "R*-pages", "X-pages", "NNcell-pages"});
+  Table cpu({"N", "R*-cpu[ms]", "X-cpu[ms]", "NNcell-cpu[ms]"});
+  for (size_t n : sizes) {
+    PointSet pts = GenerateUniform(n, dim, config.seed + n);
+    PointSet queries = GenerateQueries(config.queries, dim, config.seed ^ n);
+
+    PointTreeSetup rstar = BuildPointTree(pts, false, config);
+    QueryCost r = MeasurePointTreeNN(rstar, queries, config);
+    PointTreeSetup xtree = BuildPointTree(pts, true, config);
+    QueryCost x = MeasurePointTreeNN(xtree, queries, config);
+    NNCellOptions opts;
+    opts.algorithm = RecommendedAlgorithm(dim);
+    NNCellSetup nncell = BuildNNCell(pts, opts, config);
+    QueryCost c = MeasureNNCellQueries(nncell, queries, config);
+
+    total.AddRow({Table::Int(n), Table::Num(r.total_ms, 2),
+                  Table::Num(x.total_ms, 2), Table::Num(c.total_ms, 2)});
+    pages.AddRow({Table::Int(n), Table::Num(r.page_accesses, 1),
+                  Table::Num(x.page_accesses, 1),
+                  Table::Num(c.page_accesses, 1)});
+    cpu.AddRow({Table::Int(n), Table::Num(r.cpu_ms, 3),
+                Table::Num(x.cpu_ms, 3), Table::Num(c.cpu_ms, 3)});
+  }
+  std::printf("Total search time [ms]\n");
+  total.Print();
+  std::printf("(a) Page accesses per query\n");
+  pages.Print();
+  std::printf("(b) CPU time per query [ms]\n");
+  cpu.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Companion to Fig. 10: the paper claims the NN-cell approach "shows a
+// logarithmic behavior in the number of database tuples". The driver of
+// that claim is the overlap (expected candidate cells per query): with
+// Correct-quality approximations it grows only logarithmically in N while
+// the R*/X-tree NN search keeps touching more pages. This bench prints
+// the overlap scaling for the Sphere (~Correct quality) and NN-Direction
+// builds at d=8.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const size_t dim = 8;
+  std::vector<size_t> sizes;
+  for (size_t base : {500, 1000, 2000, 4000}) {
+    sizes.push_back(Scaled(base, config.scale, 50));
+  }
+
+  std::printf(
+      "Fig. 10 companion: overlap (expected candidates) vs N at d=%zu.\n"
+      "Log-like growth for Sphere (~Correct quality) carries the paper's\n"
+      "claim that NN-cell search scales logarithmically in N.\n\n",
+      dim);
+  Table table({"N", "Sphere", "Sphere/logN", "NN-Direction", "build-S[s]"});
+  for (size_t n : sizes) {
+    PointSet pts = GenerateUniform(n, dim, config.seed + n);
+
+    NNCellOptions sphere;
+    sphere.algorithm = ApproxAlgorithm::kSphere;
+    NNCellSetup s = BuildNNCell(pts, sphere, config);
+
+    NNCellOptions nndir;
+    nndir.algorithm = ApproxAlgorithm::kNNDirection;
+    NNCellSetup d = BuildNNCell(pts, nndir, config);
+
+    double overlap = s.index->ExpectedCandidates();
+    table.AddRow({Table::Int(n), Table::Num(overlap, 1),
+                  Table::Num(overlap / std::log(static_cast<double>(n)), 2),
+                  Table::Num(d.index->ExpectedCandidates(), 1),
+                  Table::Num(s.build_seconds, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 11 of the paper: total search time on real data (Fourier points,
+// d=8) depending on the database size -- NN-cell approach vs. X-tree (the
+// R*-tree was dropped because the X-tree consistently won). The paper
+// reports NN-cell speed-ups of up to 250% here.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const size_t dim = 8;
+  std::vector<size_t> sizes;
+  for (size_t base : {250, 500, 1000, 2000}) {
+    sizes.push_back(Scaled(base, config.scale, 50));
+  }
+
+  std::printf(
+      "Figure 11: total search time on Fourier data (d=%zu),\n"
+      "%zu cold NN queries (synthetic Fourier substitute, see DESIGN.md)\n\n",
+      dim, config.queries);
+  Table table({"N", "X-tree[ms]", "NN-cell[ms]", "speedup[%]"});
+  for (size_t n : sizes) {
+    PointSet pts = GenerateFourier(n, dim, config.seed + n);
+    // Similarity-search queries are feature vectors themselves: sample
+    // them from the same (Fourier) distribution, not uniform space.
+    PointSet queries = GenerateFourier(config.queries, dim, config.seed ^ n);
+
+    PointTreeSetup xtree = BuildPointTree(pts, true, config);
+    QueryCost x = MeasurePointTreeNN(xtree, queries, config);
+
+    NNCellOptions opts;
+    opts.algorithm = ApproxAlgorithm::kSphere;
+    NNCellSetup nncell = BuildNNCell(pts, opts, config);
+    QueryCost c = MeasureNNCellQueries(nncell, queries, config);
+
+    double speedup = 100.0 * x.total_ms / std::max(c.total_ms, 1e-9);
+    table.AddRow({Table::Int(n), Table::Num(x.total_ms, 2),
+                  Table::Num(c.total_ms, 2), Table::Num(speedup, 0)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

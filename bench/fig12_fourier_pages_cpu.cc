@@ -1,0 +1,60 @@
+// Figure 12 of the paper: page accesses versus CPU time on the Fourier
+// database. On real (clustered) data, the NN-cell approach beats the
+// X-tree in *both* categories because the cell approximations are tighter
+// than on uniform data.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const size_t dim = 8;
+  std::vector<size_t> sizes;
+  for (size_t base : {250, 500, 1000, 2000}) {
+    sizes.push_back(Scaled(base, config.scale, 50));
+  }
+
+  std::printf(
+      "Figure 12: page accesses vs CPU time on Fourier data (d=%zu),\n"
+      "%zu cold NN queries\n\n",
+      dim, config.queries);
+  Table pages({"N", "X-pages", "NNcell-pages"});
+  Table cpu({"N", "X-cpu[ms]", "NNcell-cpu[ms]"});
+  for (size_t n : sizes) {
+    PointSet pts = GenerateFourier(n, dim, config.seed + n);
+    // Similarity-search queries are feature vectors themselves: sample
+    // them from the same (Fourier) distribution, not uniform space.
+    PointSet queries = GenerateFourier(config.queries, dim, config.seed ^ n);
+
+    PointTreeSetup xtree = BuildPointTree(pts, true, config);
+    QueryCost x = MeasurePointTreeNN(xtree, queries, config);
+    NNCellOptions opts;
+    opts.algorithm = ApproxAlgorithm::kSphere;
+    NNCellSetup nncell = BuildNNCell(pts, opts, config);
+    QueryCost c = MeasureNNCellQueries(nncell, queries, config);
+
+    pages.AddRow({Table::Int(n), Table::Num(x.page_accesses, 1),
+                  Table::Num(c.page_accesses, 1)});
+    cpu.AddRow({Table::Int(n), Table::Num(x.cpu_ms, 3),
+                Table::Num(c.cpu_ms, 3)});
+  }
+  std::printf("(a) Page accesses per query\n");
+  pages.Print();
+  std::printf("(b) CPU time per query [ms]\n");
+  cpu.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 13 of the paper: effect of decomposing the NN-cell approximations
+// (Section 3) on the overlap, using the exact (Correct) approximation
+// algorithm, for d = 4, 8, 12. Includes a partition-budget ablation
+// (k = 1 is the undecomposed "exact" case the paper compares against).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const std::vector<size_t> dims = {4, 8, 12};
+  const std::vector<size_t> budgets = {1, 2, 4, 8, 10};
+  const size_t n = Scaled(150, config.scale, 20);
+
+  std::printf(
+      "Figure 13: overlap of exact vs decomposed approximations\n"
+      "(Correct algorithm, N=%zu clustered points; k=1 is 'exact')\n\n",
+      n);
+  std::vector<std::string> header = {"dim"};
+  for (size_t k : budgets) header.push_back("k=" + std::to_string(k));
+  header.push_back("improve[%]");
+  Table table(header);
+
+  for (size_t dim : dims) {
+    PointSet pts = GenerateClusters(n, dim, 4, 0.08, config.seed + dim);
+    std::vector<std::string> row = {Table::Int(dim)};
+    double exact_overlap = 0.0, best_overlap = 1e300;
+    for (size_t k : budgets) {
+      NNCellOptions opts;
+      opts.algorithm = ApproxAlgorithm::kCorrect;
+      opts.decomposition.max_partitions = k;
+      opts.decomposition.max_split_dims = 3;
+      NNCellSetup setup = BuildNNCell(pts, opts, config);
+      double overlap = setup.index->ExpectedCandidates();
+      row.push_back(Table::Num(overlap, 2));
+      if (k == 1) exact_overlap = overlap;
+      best_overlap = std::min(best_overlap, overlap);
+    }
+    double improvement = 100.0 * (exact_overlap - best_overlap) /
+                         std::max(exact_overlap, 1e-12);
+    row.push_back(Table::Num(improvement, 1));
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Microbenchmarks of the linear-programming substrate: active-set solves
+// of cell-approximation LPs as a function of dimensionality and
+// constraint count. These dominate NN-cell index construction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "geom/bisector.h"
+#include "lp/active_set_solver.h"
+
+namespace nncell {
+namespace {
+
+// One MBR face: maximize x_0 over the NN-cell of a random owner against
+// `constraints` random neighbors.
+void BM_CellFaceLp(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t constraints = static_cast<size_t>(state.range(1));
+  Rng rng(1234);
+  std::vector<double> owner(dim);
+  for (auto& v : owner) v = rng.NextDouble();
+  std::vector<std::vector<double>> others(constraints,
+                                          std::vector<double>(dim));
+  std::vector<const double*> ptrs;
+  for (auto& o : others) {
+    for (auto& v : o) v = rng.NextDouble();
+    ptrs.push_back(o.data());
+  }
+  LpProblem problem =
+      BuildCellProblem(owner.data(), ptrs, dim, HyperRect::UnitCube(dim));
+  std::vector<double> c(dim, 0.0);
+  c[0] = 1.0;
+  ActiveSetSolver solver;
+  for (auto _ : state) {
+    LpResult r = solver.Maximize(problem, c, owner);
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_CellFaceLp)
+    ->Args({4, 50})
+    ->Args({4, 500})
+    ->Args({8, 500})
+    ->Args({16, 500})
+    ->Args({16, 2000});
+
+void BM_PhaseOneFeasibility(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(99);
+  LpProblem problem(dim);
+  problem.AddBoxConstraints(HyperRect::UnitCube(dim));
+  std::vector<double> center(dim, 0.5);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> a(dim);
+    for (auto& v : a) v = rng.NextGaussian();
+    double b = 0.0;
+    for (size_t k = 0; k < dim; ++k) b += a[k] * center[k];
+    problem.AddConstraint(a, b + rng.NextDouble(0.01, 0.3));
+  }
+  std::vector<double> hint(dim, 0.95);
+  for (auto _ : state) {
+    auto r = FindFeasiblePoint(problem, hint);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_PhaseOneFeasibility)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace nncell
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Theory check (paper Section 1 / [BBKK 97]): the analytic cost model
+// predicts that any data-partitioning index must touch a growing fraction
+// of the database as the dimension rises. This bench prints the model's
+// prediction next to the measured R*-tree NN page accesses -- the
+// motivation for precomputing the solution space.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "model/cost_model.h"
+
+namespace nncell {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const size_t n = Scaled(2000, config.scale, 100);
+  std::printf(
+      "[BBKK 97] cost model vs measured R*-tree NN search, N=%zu uniform\n\n",
+      n);
+  Table table({"dim", "model-r_nn", "model-pages", "measured", "fraction"});
+  for (size_t dim : {2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    PointSet pts = GenerateUniform(n, dim, config.seed + dim);
+    PointSet queries = GenerateQueries(config.queries, dim, config.seed ^ dim);
+    PointTreeSetup rstar = BuildPointTree(pts, false, config);
+    QueryCost cost = MeasurePointTreeNN(rstar, queries, config);
+    auto info = rstar.tree->Info();
+    size_t c_eff = std::max<size_t>(1, n / std::max<size_t>(1, info.num_leaves));
+    double model_pages = ExpectedNNPageAccesses(n, dim, c_eff);
+    table.AddRow({Table::Int(dim),
+                  Table::Num(ExpectedNNDistance(n, dim), 3),
+                  Table::Num(model_pages, 1),
+                  Table::Num(cost.page_accesses, 1),
+                  Table::Num(cost.page_accesses /
+                                 static_cast<double>(info.total_pages),
+                             3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nncell
+
+int main(int argc, char** argv) {
+  nncell::bench::Run(nncell::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef NNCELL_COMMON_DISTANCE_H_
+#define NNCELL_COMMON_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace nncell {
+
+// Euclidean (L2) distance helpers. The paper's NN-cells are defined for a
+// generic metric but all of its machinery (bisector half-spaces) requires
+// L2, which is also what the evaluation uses.
+
+inline double L2DistSq(const double* a, const double* b, size_t dim) {
+  double s = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline double L2Dist(const double* a, const double* b, size_t dim) {
+  return std::sqrt(L2DistSq(a, b, dim));
+}
+
+inline double L2DistSq(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return L2DistSq(a.data(), b.data(), a.size());
+}
+
+inline double L2Dist(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  return std::sqrt(L2DistSq(a, b));
+}
+
+inline double L2NormSq(const double* a, size_t dim) {
+  double s = 0.0;
+  for (size_t i = 0; i < dim; ++i) s += a[i] * a[i];
+  return s;
+}
+
+inline double Dot(const double* a, const double* b, size_t dim) {
+  double s = 0.0;
+  for (size_t i = 0; i < dim; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_DISTANCE_H_

@@ -1,0 +1,228 @@
+#include "common/hyper_rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace nncell {
+
+HyperRect HyperRect::Empty(size_t dim) {
+  HyperRect r;
+  r.lo_.assign(dim, std::numeric_limits<double>::infinity());
+  r.hi_.assign(dim, -std::numeric_limits<double>::infinity());
+  return r;
+}
+
+HyperRect HyperRect::UnitCube(size_t dim) {
+  HyperRect r;
+  r.lo_.assign(dim, 0.0);
+  r.hi_.assign(dim, 1.0);
+  return r;
+}
+
+HyperRect HyperRect::FromPoint(const double* p, size_t dim) {
+  HyperRect r;
+  r.lo_.assign(p, p + dim);
+  r.hi_.assign(p, p + dim);
+  return r;
+}
+
+HyperRect HyperRect::FromPoint(const std::vector<double>& p) {
+  return FromPoint(p.data(), p.size());
+}
+
+HyperRect::HyperRect(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  NNCELL_CHECK(lo_.size() == hi_.size());
+}
+
+bool HyperRect::IsEmpty() const {
+  for (size_t i = 0; i < dim(); ++i) {
+    if (lo_[i] > hi_[i]) return true;
+  }
+  return lo_.empty();
+}
+
+double HyperRect::Volume() const {
+  if (IsEmpty()) return 0.0;
+  double v = 1.0;
+  for (size_t i = 0; i < dim(); ++i) v *= (hi_[i] - lo_[i]);
+  return v;
+}
+
+double HyperRect::Margin() const {
+  if (IsEmpty()) return 0.0;
+  double m = 0.0;
+  for (size_t i = 0; i < dim(); ++i) m += (hi_[i] - lo_[i]);
+  return m;
+}
+
+std::vector<double> HyperRect::Center() const {
+  std::vector<double> c(dim());
+  for (size_t i = 0; i < dim(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+  return c;
+}
+
+bool HyperRect::ContainsPoint(const double* p) const {
+  for (size_t i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool HyperRect::ContainsPoint(const std::vector<double>& p) const {
+  NNCELL_DCHECK(p.size() == dim());
+  return ContainsPoint(p.data());
+}
+
+bool HyperRect::ContainsRect(const HyperRect& r) const {
+  NNCELL_DCHECK(r.dim() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (r.lo_[i] < lo_[i] || r.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool HyperRect::Intersects(const HyperRect& r) const {
+  NNCELL_DCHECK(r.dim() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (r.hi_[i] < lo_[i] || r.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+void HyperRect::ExpandToPoint(const double* p) {
+  for (size_t i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], p[i]);
+    hi_[i] = std::max(hi_[i], p[i]);
+  }
+}
+
+void HyperRect::ExpandToRect(const HyperRect& r) {
+  NNCELL_DCHECK(r.dim() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], r.lo_[i]);
+    hi_[i] = std::max(hi_[i], r.hi_[i]);
+  }
+}
+
+HyperRect HyperRect::Union(const HyperRect& a, const HyperRect& b) {
+  HyperRect r = a;
+  r.ExpandToRect(b);
+  return r;
+}
+
+HyperRect HyperRect::Intersection(const HyperRect& a, const HyperRect& b) {
+  NNCELL_DCHECK(a.dim() == b.dim());
+  HyperRect r = HyperRect::Empty(a.dim());
+  for (size_t i = 0; i < a.dim(); ++i) {
+    double lo = std::max(a.lo_[i], b.lo_[i]);
+    double hi = std::min(a.hi_[i], b.hi_[i]);
+    if (lo > hi) return HyperRect::Empty(a.dim());
+    r.lo_[i] = lo;
+    r.hi_[i] = hi;
+  }
+  return r;
+}
+
+double HyperRect::OverlapVolume(const HyperRect& a, const HyperRect& b) {
+  NNCELL_DCHECK(a.dim() == b.dim());
+  double v = 1.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    double lo = std::max(a.lo_[i], b.lo_[i]);
+    double hi = std::min(a.hi_[i], b.hi_[i]);
+    if (lo >= hi) return 0.0;
+    v *= (hi - lo);
+  }
+  return v;
+}
+
+double HyperRect::Enlargement(const HyperRect& r) const {
+  return Union(*this, r).Volume() - Volume();
+}
+
+double HyperRect::MinDistSq(const double* p) const {
+  double s = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    double d = 0.0;
+    if (p[i] < lo_[i]) {
+      d = lo_[i] - p[i];
+    } else if (p[i] > hi_[i]) {
+      d = p[i] - hi_[i];
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+double HyperRect::MaxDistSq(const double* p) const {
+  double s = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    double d = std::max(std::abs(p[i] - lo_[i]), std::abs(p[i] - hi_[i]));
+    s += d * d;
+  }
+  return s;
+}
+
+double HyperRect::MinMaxDistSq(const double* p) const {
+  // [RKV 95]: min over dimensions k of
+  //   |p_k - rm_k|^2 + sum_{i != k} |p_i - rM_i|^2
+  // where rm_k is the nearer face in dim k and rM_i the farther face.
+  const size_t d = dim();
+  double sum_max = 0.0;
+  std::vector<double> max_term(d), min_term(d);
+  for (size_t i = 0; i < d; ++i) {
+    // rM_i: farther face coordinate.
+    double far_face =
+        (p[i] >= 0.5 * (lo_[i] + hi_[i])) ? lo_[i] : hi_[i];
+    double near_face =
+        (p[i] <= 0.5 * (lo_[i] + hi_[i])) ? lo_[i] : hi_[i];
+    max_term[i] = (p[i] - far_face) * (p[i] - far_face);
+    min_term[i] = (p[i] - near_face) * (p[i] - near_face);
+    sum_max += max_term[i];
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < d; ++k) {
+    double v = sum_max - max_term[k] + min_term[k];
+    best = std::min(best, v);
+  }
+  return best;
+}
+
+double RawMinMaxDistSq(const double* lo, const double* hi, const double* p,
+                       size_t dim) {
+  double sum_max = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  // Two passes keep this allocation-free: first the farther-face sum, then
+  // the per-dimension swap of one term.
+  for (size_t i = 0; i < dim; ++i) {
+    double mid = 0.5 * (lo[i] + hi[i]);
+    double far_face = (p[i] >= mid) ? lo[i] : hi[i];
+    sum_max += (p[i] - far_face) * (p[i] - far_face);
+  }
+  for (size_t k = 0; k < dim; ++k) {
+    double mid = 0.5 * (lo[k] + hi[k]);
+    double far_face = (p[k] >= mid) ? lo[k] : hi[k];
+    double near_face = (p[k] <= mid) ? lo[k] : hi[k];
+    double max_term = (p[k] - far_face) * (p[k] - far_face);
+    double min_term = (p[k] - near_face) * (p[k] - near_face);
+    best = std::min(best, sum_max - max_term + min_term);
+  }
+  return best;
+}
+
+std::string HyperRect::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dim(); ++i) {
+    if (i) os << " x ";
+    os << "(" << lo_[i] << "," << hi_[i] << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace nncell

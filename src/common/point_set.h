@@ -1,0 +1,63 @@
+#ifndef NNCELL_COMMON_POINT_SET_H_
+#define NNCELL_COMMON_POINT_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hyper_rect.h"
+#include "common/logging.h"
+
+namespace nncell {
+
+// A dense, row-major set of d-dimensional points. This is the in-memory
+// "database of feature vectors" handed to index structures; it owns the
+// coordinates, indexes refer to points by index.
+class PointSet {
+ public:
+  explicit PointSet(size_t dim) : dim_(dim) { NNCELL_CHECK(dim > 0); }
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return data_.size() / dim_; }
+  bool empty() const { return data_.empty(); }
+
+  // Appends a point; returns its index.
+  size_t Add(const double* p) {
+    data_.insert(data_.end(), p, p + dim_);
+    return size() - 1;
+  }
+  size_t Add(const std::vector<double>& p) {
+    NNCELL_CHECK(p.size() == dim_);
+    return Add(p.data());
+  }
+
+  const double* operator[](size_t i) const {
+    NNCELL_DCHECK(i < size());
+    return data_.data() + i * dim_;
+  }
+
+  std::vector<double> Get(size_t i) const {
+    const double* p = (*this)[i];
+    return std::vector<double>(p, p + dim_);
+  }
+
+  void Reserve(size_t n) { data_.reserve(n * dim_); }
+  void Clear() { data_.clear(); }
+
+  // Bounding box over all points; Empty(dim) when the set is empty.
+  HyperRect BoundingBox() const {
+    HyperRect r = HyperRect::Empty(dim_);
+    for (size_t i = 0; i < size(); ++i) r.ExpandToPoint((*this)[i]);
+    return r;
+  }
+
+  const std::vector<double>& raw() const { return data_; }
+
+ private:
+  size_t dim_;
+  std::vector<double> data_;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_POINT_SET_H_

@@ -1,0 +1,137 @@
+#ifndef NNCELL_COMMON_STATUS_H_
+#define NNCELL_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nncell {
+
+// Error codes used throughout the library. The library reports recoverable
+// failures through Status / StatusOr rather than exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+// A lightweight absl::Status-alike: an error code plus a human-readable
+// message. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Minimal StatusOr: either an OK status plus a value, or a non-OK status.
+// T does not need to be default-constructible.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    NNCELL_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    NNCELL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    NNCELL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    NNCELL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define NNCELL_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::nncell::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_STATUS_H_

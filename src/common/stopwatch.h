@@ -1,0 +1,29 @@
+#ifndef NNCELL_COMMON_STOPWATCH_H_
+#define NNCELL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace nncell {
+
+// Wall-clock stopwatch used for CPU-time measurements in the benchmarks
+// (single-threaded process, so wall time == CPU time for compute phases).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_STOPWATCH_H_

@@ -1,0 +1,161 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace nncell {
+
+PointSet GenerateUniform(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  PointSet pts(dim);
+  pts.Reserve(n);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = rng.NextDouble();
+    pts.Add(p);
+  }
+  return pts;
+}
+
+PointSet GenerateGrid(size_t per_side, size_t dim, double jitter,
+                      uint64_t seed) {
+  NNCELL_CHECK(per_side >= 1);
+  Rng rng(seed);
+  PointSet pts(dim);
+  size_t total = 1;
+  for (size_t k = 0; k < dim; ++k) {
+    NNCELL_CHECK_MSG(total <= 10'000'000 / per_side, "grid too large");
+    total *= per_side;
+  }
+  pts.Reserve(total);
+  std::vector<double> p(dim);
+  double cell = 1.0 / static_cast<double>(per_side);
+  for (size_t idx = 0; idx < total; ++idx) {
+    size_t rem = idx;
+    for (size_t k = 0; k < dim; ++k) {
+      size_t i = rem % per_side;
+      rem /= per_side;
+      double center = (static_cast<double>(i) + 0.5) * cell;
+      double offset = jitter > 0.0
+                          ? rng.NextDouble(-0.5 * jitter, 0.5 * jitter) * cell
+                          : 0.0;
+      p[k] = center + offset;
+    }
+    pts.Add(p);
+  }
+  return pts;
+}
+
+PointSet GenerateSparse(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  PointSet pts(dim);
+  pts.Reserve(n);
+  std::vector<double> best(dim), cand(dim);
+  for (size_t i = 0; i < n; ++i) {
+    // Best-candidate (Mitchell) sampling: among several uniform candidates,
+    // keep the one farthest from the existing set -> blue-noise spread.
+    double best_dist = -1.0;
+    const int kCandidates = 12;
+    for (int c = 0; c < kCandidates; ++c) {
+      for (auto& v : cand) v = rng.NextDouble();
+      double nearest = 1e300;
+      for (size_t j = 0; j < pts.size(); ++j) {
+        nearest = std::min(nearest, L2DistSq(pts[j], cand.data(), dim));
+      }
+      if (pts.empty()) nearest = 1.0;
+      if (nearest > best_dist) {
+        best_dist = nearest;
+        best = cand;
+      }
+    }
+    pts.Add(best);
+  }
+  return pts;
+}
+
+PointSet GenerateClusters(size_t n, size_t dim, size_t clusters, double stddev,
+                          uint64_t seed) {
+  NNCELL_CHECK(clusters >= 1);
+  Rng rng(seed);
+  PointSet centers(dim);
+  std::vector<double> c(dim);
+  for (size_t k = 0; k < clusters; ++k) {
+    for (auto& v : c) v = rng.NextDouble(0.15, 0.85);
+    centers.Add(c);
+  }
+  PointSet pts(dim);
+  pts.Reserve(n);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    const double* center = centers[rng.NextIndex(clusters)];
+    for (size_t k = 0; k < dim; ++k) {
+      p[k] = std::clamp(center[k] + stddev * rng.NextGaussian(), 0.0, 1.0);
+    }
+    pts.Add(p);
+  }
+  return pts;
+}
+
+PointSet GenerateFourier(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  // A handful of "shape families": prototype contours whose Fourier
+  // spectra the objects perturb. Coefficient magnitudes decay ~1/h like
+  // the spectra of smooth contours, producing the strongly non-uniform,
+  // correlated feature distribution of the paper's real data.
+  const size_t families = 8;
+  std::vector<std::vector<double>> prototypes(families,
+                                              std::vector<double>(dim));
+  for (auto& proto : prototypes) {
+    for (size_t k = 0; k < dim; ++k) {
+      double decay = 1.0 / static_cast<double>(k / 2 + 1);
+      proto[k] = decay * rng.NextGaussian();
+    }
+  }
+  // Non-uniform family popularity (real datasets are imbalanced).
+  std::vector<double> cdf(families);
+  double acc = 0.0;
+  for (size_t f = 0; f < families; ++f) {
+    acc += 1.0 / static_cast<double>(f + 1);
+    cdf[f] = acc;
+  }
+  for (auto& v : cdf) v /= acc;
+
+  PointSet pts(dim);
+  pts.Reserve(n);
+  std::vector<double> sample_pts(dim);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    size_t f = 0;
+    while (f + 1 < families && u > cdf[f]) ++f;
+    for (size_t k = 0; k < dim; ++k) {
+      double decay = 1.0 / static_cast<double>(k / 2 + 1);
+      double coeff = prototypes[f][k] + 0.25 * decay * rng.NextGaussian();
+      // Squash coefficients into the unit data space; tanh keeps the
+      // cluster structure while bounding the range.
+      sample_pts[k] = 0.5 + 0.5 * std::tanh(coeff);
+    }
+    pts.Add(sample_pts);
+  }
+  return pts;
+}
+
+PointSet GenerateQueries(size_t n, size_t dim, uint64_t seed) {
+  return GenerateUniform(n, dim, seed ^ 0x5deece66dULL);
+}
+
+bool HasDuplicates(const PointSet& pts) {
+  std::map<std::vector<double>, size_t> seen;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    auto [it, inserted] = seen.emplace(pts.Get(i), i);
+    if (!inserted) return true;
+  }
+  return false;
+}
+
+}  // namespace nncell

@@ -1,0 +1,52 @@
+#ifndef NNCELL_DATA_GENERATORS_H_
+#define NNCELL_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/point_set.h"
+
+namespace nncell {
+
+// Workload generators reproducing the paper's data distributions. All data
+// lives in the unit data space [0,1]^d and all generators are fully
+// deterministic given the seed.
+
+// Independently uniform per dimension (the paper's "uniform" synthetic
+// data; Fig. 2a). Note this is *not* multidimensionally uniform.
+PointSet GenerateUniform(size_t n, size_t dim, uint64_t seed);
+
+// Regular multidimensional uniform distribution (Fig. 2c): a per_side^dim
+// grid of cell centers, optionally jittered inside each cell. This is the
+// best case for the NN-cell approach (cells == MBRs, zero overlap).
+PointSet GenerateGrid(size_t per_side, size_t dim, double jitter,
+                      uint64_t seed);
+
+// Sparse distribution (Fig. 2e): few widely separated points, the worst
+// case (cell MBRs degenerate towards the whole data space). Enforces a
+// minimum pairwise separation via best-candidate sampling.
+PointSet GenerateSparse(size_t n, size_t dim, uint64_t seed);
+
+// Gaussian cluster mixture: `clusters` centers, isotropic `stddev`,
+// clipped to the data space. Models the clustering of real data.
+PointSet GenerateClusters(size_t n, size_t dim, size_t clusters,
+                          double stddev, uint64_t seed);
+
+// Synthetic "Fourier points" (substitute for the paper's real CAD data,
+// d = 8 there): each object is a random smooth closed contour from one of
+// a few shape families; its feature vector is the leading Fourier
+// coefficients, which decay ~1/h and are strongly clustered/correlated --
+// exactly the properties the paper's "real data" experiments exercise.
+PointSet GenerateFourier(size_t n, size_t dim, uint64_t seed);
+
+// Query points: uniform in the data space (the paper queries the space,
+// not the data distribution).
+PointSet GenerateQueries(size_t n, size_t dim, uint64_t seed);
+
+// True when some pair of points coincides exactly (NN-cells require
+// distinct sites).
+bool HasDuplicates(const PointSet& pts);
+
+}  // namespace nncell
+
+#endif  // NNCELL_DATA_GENERATORS_H_

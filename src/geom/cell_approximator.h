@@ -1,0 +1,88 @@
+#ifndef NNCELL_GEOM_CELL_APPROXIMATOR_H_
+#define NNCELL_GEOM_CELL_APPROXIMATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/hyper_rect.h"
+#include "common/point_set.h"
+#include "lp/active_set_solver.h"
+#include "lp/lp_problem.h"
+
+namespace nncell {
+
+// The four strategies of the paper for choosing the points whose bisector
+// constraints enter the LP (Section 2):
+//   kCorrect     -- all N-1 points (exact MBR, most expensive),
+//   kPoint       -- points whose indexed cell rectangle contains the owner,
+//   kSphere      -- points whose indexed rectangle intersects a sphere
+//                   around the owner,
+//   kNNDirection -- the 2d directional nearest neighbors plus the 2d points
+//                   with smallest angular deviation from the axes.
+enum class ApproxAlgorithm { kCorrect, kPoint, kSphere, kNNDirection };
+
+const char* ApproxAlgorithmName(ApproxAlgorithm a);
+
+// Aggregate counters filled by the approximator (for Fig. 4a style
+// reporting and debugging).
+struct ApproxStats {
+  size_t lp_runs = 0;
+  size_t lp_iterations = 0;
+  size_t lp_failures = 0;      // faces that fell back to the space bound
+  size_t constraint_rows = 0;  // total bisector rows over all LP systems
+};
+
+// Computes MBR approximations of NN-cells by running 2d linear programs per
+// cell (Definition 3 of the paper).
+class CellApproximator {
+ public:
+  explicit CellApproximator(size_t dim, HyperRect space,
+                            LpOptions lp_opts = LpOptions());
+
+  const HyperRect& space() const { return space_; }
+  size_t dim() const { return dim_; }
+
+  // MBR of the cell of `owner` induced by the candidate constraint points.
+  // `owner` must be distinct from every candidate. Faces whose LP fails
+  // fall back to the data-space bound (conservative, keeps Lemma 1).
+  HyperRect ApproximateMbr(const double* owner,
+                           const std::vector<const double*>& candidates,
+                           ApproxStats* stats = nullptr) const;
+
+  // Same, but for the cell clipped to `clip` (used by the decomposition:
+  // MBR(cell ∩ slice)). Returns Empty(dim) when the clipped cell is empty.
+  HyperRect ApproximateClippedMbr(const double* owner,
+                                  const std::vector<const double*>& candidates,
+                                  const HyperRect& clip,
+                                  ApproxStats* stats = nullptr) const;
+
+  // MBR faces for a prebuilt constraint system with a known feasible start.
+  HyperRect SolveMbr(const LpProblem& problem, const std::vector<double>& start,
+                     ApproxStats* stats) const;
+
+ private:
+  size_t dim_;
+  HyperRect space_;
+  ActiveSetSolver solver_;
+};
+
+// Candidate selectors that need no index structure (pure scans); the
+// index-assisted Point/Sphere selection lives in the NN-cell index.
+
+// The heuristic sphere radius of the paper: roughly twice the expected
+// nearest-neighbor distance of n uniform points in [0,1]^d.
+double DefaultSphereRadius(size_t n, size_t dim);
+
+// All points (by index into pts, excluding `owner_idx`) within `radius`.
+std::vector<size_t> SelectSphereCandidates(const PointSet& pts,
+                                           size_t owner_idx, double radius);
+
+// NN-Direction heuristic: for each of the 2d axis directions, the nearest
+// point lying in that half-space, plus the point with the smallest angular
+// deviation from that axis. At most 4d candidates (duplicates removed).
+std::vector<size_t> SelectNNDirectionCandidates(const PointSet& pts,
+                                                size_t owner_idx);
+
+}  // namespace nncell
+
+#endif  // NNCELL_GEOM_CELL_APPROXIMATOR_H_

@@ -1,0 +1,109 @@
+#include "geom/voronoi2d.h"
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace nncell {
+
+double Polygon2D::Area() const {
+  if (IsEmpty()) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const auto& p = vertices[i];
+    const auto& q = vertices[(i + 1) % vertices.size()];
+    twice += p[0] * q[1] - q[0] * p[1];
+  }
+  return 0.5 * std::abs(twice);
+}
+
+HyperRect Polygon2D::Mbr() const {
+  HyperRect r = HyperRect::Empty(2);
+  for (const auto& v : vertices) r.ExpandToPoint(v.data());
+  return r;
+}
+
+bool Polygon2D::Contains(double x, double y, double eps) const {
+  if (IsEmpty()) return false;
+  // Convex polygon, CCW: the point must be left of (or on) every edge.
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const auto& p = vertices[i];
+    const auto& q = vertices[(i + 1) % vertices.size()];
+    double cross = (q[0] - p[0]) * (y - p[1]) - (q[1] - p[1]) * (x - p[0]);
+    if (cross < -eps) return false;
+  }
+  return true;
+}
+
+Polygon2D ClipByHalfPlane(const Polygon2D& poly, const std::array<double, 2>& a,
+                          double b) {
+  Polygon2D out;
+  const size_t n = poly.vertices.size();
+  if (n == 0) return out;
+  out.vertices.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& p = poly.vertices[i];
+    const auto& q = poly.vertices[(i + 1) % n];
+    double fp = a[0] * p[0] + a[1] * p[1] - b;
+    double fq = a[0] * q[0] + a[1] * q[1] - b;
+    bool p_in = fp <= 0.0;
+    bool q_in = fq <= 0.0;
+    if (p_in) out.vertices.push_back(p);
+    if (p_in != q_in) {
+      double t = fp / (fp - fq);  // fp != fq since signs differ
+      out.vertices.push_back({p[0] + t * (q[0] - p[0]),
+                              p[1] + t * (q[1] - p[1])});
+    }
+  }
+  if (out.vertices.size() < 3) out.vertices.clear();
+  return out;
+}
+
+Polygon2D ComputeOrderMCell2D(const std::vector<const double*>& sites,
+                              const std::vector<size_t>& subset,
+                              const HyperRect& space) {
+  NNCELL_CHECK(space.dim() == 2);
+  std::vector<bool> inside(sites.size(), false);
+  for (size_t i : subset) {
+    NNCELL_CHECK(i < sites.size());
+    inside[i] = true;
+  }
+  Polygon2D cell;
+  cell.vertices = {{space.lo(0), space.lo(1)},
+                   {space.hi(0), space.lo(1)},
+                   {space.hi(0), space.hi(1)},
+                   {space.lo(0), space.hi(1)}};
+  for (size_t a : subset) {
+    for (size_t b = 0; b < sites.size(); ++b) {
+      if (inside[b]) continue;
+      std::array<double, 2> normal = {2.0 * (sites[b][0] - sites[a][0]),
+                                      2.0 * (sites[b][1] - sites[a][1])};
+      double rhs = L2NormSq(sites[b], 2) - L2NormSq(sites[a], 2);
+      cell = ClipByHalfPlane(cell, normal, rhs);
+      if (cell.IsEmpty()) return cell;
+    }
+  }
+  return cell;
+}
+
+Polygon2D ComputeNNCell2D(const double* owner,
+                          const std::vector<const double*>& others,
+                          const HyperRect& space) {
+  NNCELL_CHECK(space.dim() == 2);
+  Polygon2D cell;
+  cell.vertices = {{space.lo(0), space.lo(1)},
+                   {space.hi(0), space.lo(1)},
+                   {space.hi(0), space.hi(1)},
+                   {space.lo(0), space.hi(1)}};
+  for (const double* other : others) {
+    std::array<double, 2> a = {2.0 * (other[0] - owner[0]),
+                               2.0 * (other[1] - owner[1])};
+    double b = L2NormSq(other, 2) - L2NormSq(owner, 2);
+    cell = ClipByHalfPlane(cell, a, b);
+    if (cell.IsEmpty()) break;
+  }
+  return cell;
+}
+
+}  // namespace nncell

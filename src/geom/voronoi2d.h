@@ -1,0 +1,46 @@
+#ifndef NNCELL_GEOM_VORONOI2D_H_
+#define NNCELL_GEOM_VORONOI2D_H_
+
+#include <array>
+#include <vector>
+
+#include "common/hyper_rect.h"
+
+namespace nncell {
+
+// Exact 2-D NN-cells via half-plane polygon clipping. This is the test
+// oracle for the LP-based high-dimensional approximator: in 2-D the MBR of
+// the clipped polygon must coincide (within tolerance) with the LP result,
+// and the polygon supports exact area/membership checks.
+
+struct Polygon2D {
+  std::vector<std::array<double, 2>> vertices;  // CCW
+
+  bool IsEmpty() const { return vertices.size() < 3; }
+  double Area() const;
+  HyperRect Mbr() const;
+  bool Contains(double x, double y, double eps = 1e-9) const;
+};
+
+// Clips `poly` by the half-plane a . x <= b (Sutherland-Hodgman).
+Polygon2D ClipByHalfPlane(const Polygon2D& poly, const std::array<double, 2>& a,
+                          double b);
+
+// The NN-cell of `owner` against `others` inside `space` (a 2-D rectangle):
+// intersection of the space with all bisector half-planes.
+Polygon2D ComputeNNCell2D(const double* owner,
+                          const std::vector<const double*>& others,
+                          const HyperRect& space);
+
+// Order-m Voronoi cell (Definition 1 of the paper): the region whose m
+// nearest sites are exactly the set `subset` (indices into `sites`).
+// x lies in the cell iff d(x, a) <= d(x, b) for every a in the subset and
+// b outside it -- an intersection of |A| * (N - |A|) half-planes, clipped
+// to `space`. Empty for most subsets; the non-empty ones tile the space.
+Polygon2D ComputeOrderMCell2D(const std::vector<const double*>& sites,
+                              const std::vector<size_t>& subset,
+                              const HyperRect& space);
+
+}  // namespace nncell
+
+#endif  // NNCELL_GEOM_VORONOI2D_H_

@@ -1,0 +1,240 @@
+#include "lp/active_set_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/distance.h"
+#include "lp/linalg.h"
+
+namespace nncell {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Removes `value` from a sorted vector.
+void EraseSorted(std::vector<size_t>& v, size_t value) {
+  auto it = std::lower_bound(v.begin(), v.end(), value);
+  NNCELL_DCHECK(it != v.end() && *it == value);
+  v.erase(it);
+}
+
+void InsertSorted(std::vector<size_t>& v, size_t value) {
+  v.insert(std::upper_bound(v.begin(), v.end(), value), value);
+}
+
+}  // namespace
+
+ActiveSetSolver::ActiveSetSolver(LpOptions opts) : opts_(opts) {}
+
+LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
+                                   const std::vector<double>& c,
+                                   const std::vector<double>& x0) const {
+  const size_t d = problem.dim();
+  const size_t m = problem.num_constraints();
+  NNCELL_CHECK(c.size() == d);
+  NNCELL_CHECK(x0.size() == d);
+
+  const double tol = opts_.tol;
+  const double c_scale = std::max(1.0, std::sqrt(L2NormSq(c.data(), d)));
+  const double dir_tol = tol * c_scale;
+  const size_t max_iter =
+      opts_.max_iterations ? opts_.max_iterations : 100 * (m + d) + 1000;
+
+  LpResult result;
+  result.x = x0;
+  std::vector<double>& x = result.x;
+
+  // Feasibility of the start (allow tolerance-level violation).
+  const double feas_tol = 1e-7;
+  if (problem.MaxViolation(x.data()) > feas_tol) {
+    result.status = LpStatus::kInfeasibleStart;
+    result.objective = Dot(c.data(), x.data(), d);
+    return result;
+  }
+
+  std::vector<size_t> active;  // sorted working set (independent rows)
+  std::vector<double> basis;   // orthonormal basis of active rows
+  std::vector<double> p(d);    // search direction
+
+  // Scratch for the multiplier system.
+  std::vector<double> gram, rhs;
+  std::vector<const double*> rows;
+
+  for (size_t iter = 0; iter < max_iter; ++iter) {
+    result.iterations = iter + 1;
+
+    // Project the gradient c onto the null space of the active rows.
+    rows.clear();
+    for (size_t i : active) rows.push_back(problem.row(i));
+    size_t rank = OrthonormalBasis(rows, d, basis);
+    NNCELL_DCHECK(rank == active.size());
+    (void)rank;
+
+    for (size_t i = 0; i < d; ++i) p[i] = c[i];
+    for (size_t q = 0; q < active.size(); ++q) {
+      const double* bq = basis.data() + q * d;
+      double proj = Dot(p.data(), bq, d);
+      for (size_t i = 0; i < d; ++i) p[i] -= proj * bq[i];
+    }
+    double p_norm = std::sqrt(L2NormSq(p.data(), d));
+
+    if (p_norm <= dir_tol) {
+      // c lies in the span of the active normals: check optimality via
+      // Lagrange multipliers (c = sum lambda_i a_i, lambda >= 0 optimal).
+      if (active.empty()) {
+        result.status = LpStatus::kOptimal;  // c == 0
+        break;
+      }
+      const size_t k = active.size();
+      gram.assign(k * k, 0.0);
+      rhs.assign(k, 0.0);
+      for (size_t i = 0; i < k; ++i) {
+        const double* ai = problem.row(active[i]);
+        rhs[i] = Dot(ai, c.data(), d);
+        for (size_t j = 0; j < k; ++j) {
+          gram[i * k + j] = Dot(ai, problem.row(active[j]), d);
+        }
+      }
+      if (!SolveLinearSystem(gram, rhs, k)) {
+        // Should not happen (rows are kept independent); treat the most
+        // recently added constraint as removable to make progress.
+        EraseSorted(active, active.back());
+        continue;
+      }
+      // Bland: drop the smallest-index constraint with negative multiplier.
+      size_t drop = m;  // sentinel
+      for (size_t i = 0; i < k; ++i) {
+        if (rhs[i] < -tol * c_scale) {
+          if (drop == m || active[i] < drop) drop = active[i];
+        }
+      }
+      if (drop == m) {
+        result.status = LpStatus::kOptimal;
+        break;
+      }
+      EraseSorted(active, drop);
+      continue;
+    }
+
+    // Ratio test: largest step alpha with x + alpha p feasible.
+    double alpha = kInf;
+    size_t blocker = m;  // sentinel
+    {
+      size_t w = 0;  // cursor into sorted active set
+      for (size_t i = 0; i < m; ++i) {
+        if (w < active.size() && active[w] == i) {
+          ++w;
+          continue;
+        }
+        const double* ai = problem.row(i);
+        double s = Dot(ai, p.data(), d);
+        if (s <= dir_tol) continue;  // not blocking along p
+        double slack = problem.rhs(i) - Dot(ai, x.data(), d);
+        double a = std::max(0.0, slack) / s;
+        // Bland's rule: strict improvement, or equal step with smaller
+        // index, keeps the method from cycling on degenerate vertices.
+        if (a < alpha - 1e-15) {
+          alpha = a;
+          blocker = i;
+        }
+      }
+    }
+
+    if (blocker == m) {
+      result.status = LpStatus::kUnbounded;
+      result.objective = kInf;
+      return result;
+    }
+
+    if (alpha > 0.0) {
+      for (size_t i = 0; i < d; ++i) x[i] += alpha * p[i];
+    }
+    InsertSorted(active, blocker);
+  }
+
+  if (result.status != LpStatus::kOptimal &&
+      result.status != LpStatus::kUnbounded) {
+    result.status = (result.iterations >= max_iter) ? LpStatus::kIterationLimit
+                                                    : result.status;
+  }
+
+  // Refine: snap x onto the active face (one Newton correction in the span
+  // of the active normals) to reduce drift accumulated by line searches.
+  if (result.status == LpStatus::kOptimal && !active.empty()) {
+    const size_t k = active.size();
+    gram.assign(k * k, 0.0);
+    rhs.assign(k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+      const double* ai = problem.row(active[i]);
+      rhs[i] = problem.rhs(active[i]) - Dot(ai, x.data(), d);
+      for (size_t j = 0; j < k; ++j) {
+        gram[i * k + j] = Dot(ai, problem.row(active[j]), d);
+      }
+    }
+    if (SolveLinearSystem(gram, rhs, k)) {
+      for (size_t i = 0; i < k; ++i) {
+        const double* ai = problem.row(active[i]);
+        for (size_t j = 0; j < d; ++j) x[j] += rhs[i] * ai[j];
+      }
+    }
+  }
+
+  result.objective = Dot(c.data(), x.data(), d);
+  return result;
+}
+
+LpResult ActiveSetSolver::Minimize(const LpProblem& problem,
+                                   const std::vector<double>& c,
+                                   const std::vector<double>& x0) const {
+  std::vector<double> neg(c.size());
+  for (size_t i = 0; i < c.size(); ++i) neg[i] = -c[i];
+  LpResult r = Maximize(problem, neg, x0);
+  r.objective = -r.objective;
+  return r;
+}
+
+StatusOr<std::vector<double>> FindFeasiblePoint(const LpProblem& problem,
+                                                const std::vector<double>& hint,
+                                                const LpOptions& opts) {
+  const size_t d = problem.dim();
+  NNCELL_CHECK(hint.size() == d);
+
+  // Fast path: the hint itself is feasible.
+  if (problem.MaxViolation(hint.data()) <= 0.0) return hint;
+
+  // Extended LP over (x, t): minimize t s.t. a_i.x - t <= b_i, -t <= 1.
+  LpProblem ext(d + 1);
+  ext.Reserve(problem.num_constraints() + 1);
+  std::vector<double> row(d + 1);
+  for (size_t i = 0; i < problem.num_constraints(); ++i) {
+    const double* ai = problem.row(i);
+    std::copy(ai, ai + d, row.begin());
+    row[d] = -1.0;
+    ext.AddConstraint(row, problem.rhs(i));
+  }
+  std::fill(row.begin(), row.end(), 0.0);
+  row[d] = -1.0;
+  ext.AddConstraint(row, 1.0);  // t >= -1 keeps the LP bounded
+
+  std::vector<double> start(d + 1);
+  std::copy(hint.begin(), hint.end(), start.begin());
+  start[d] = std::max(0.0, problem.MaxViolation(hint.data())) + 1.0;
+
+  std::vector<double> c(d + 1, 0.0);
+  c[d] = 1.0;
+
+  ActiveSetSolver solver(opts);
+  LpResult r = solver.Minimize(ext, c, start);
+  if (r.status != LpStatus::kOptimal) {
+    return Status::Internal("phase-I LP did not converge");
+  }
+  double t_star = r.x[d];
+  if (t_star > 1e-9) {
+    return Status::NotFound("constraint system is infeasible");
+  }
+  return std::vector<double>(r.x.begin(), r.x.begin() + d);
+}
+
+}  // namespace nncell

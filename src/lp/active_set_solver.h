@@ -1,0 +1,73 @@
+#ifndef NNCELL_LP_ACTIVE_SET_SOLVER_H_
+#define NNCELL_LP_ACTIVE_SET_SOLVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "lp/lp_problem.h"
+
+namespace nncell {
+
+// Configuration for the active-set LP solver.
+struct LpOptions {
+  // Numerical tolerance for directions, multipliers and feasibility.
+  double tol = 1e-9;
+  // Iteration limit; 0 means "auto" (scales with constraint count).
+  size_t max_iterations = 0;
+};
+
+enum class LpStatus {
+  kOptimal,
+  kUnbounded,
+  kInfeasibleStart,
+  kIterationLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  std::vector<double> x;     // best point found
+  double objective = 0.0;    // c . x at that point
+  size_t iterations = 0;
+};
+
+// Active-set method for linear programs with few variables and many
+// inequality constraints -- the Best & Ritter style algorithm the paper
+// uses for computing NN-cell MBR faces. The solver walks from a supplied
+// feasible point along projected-gradient directions, adding blocking
+// constraints to the working set and dropping constraints with negative
+// Lagrange multipliers (Bland's smallest-index rule on ties/degeneracy).
+//
+// Cost per iteration is O(m * d) for the ratio test plus O(d^3) algebra,
+// which is exactly the right shape for the paper's workload (d <= ~32,
+// m up to N-1 bisector constraints).
+class ActiveSetSolver {
+ public:
+  explicit ActiveSetSolver(LpOptions opts = LpOptions());
+
+  // Maximizes c . x subject to the problem's constraints, starting from the
+  // feasible point x0. x0 may lie on the boundary. Returns kInfeasibleStart
+  // when x0 violates a constraint by more than the tolerance.
+  LpResult Maximize(const LpProblem& problem, const std::vector<double>& c,
+                    const std::vector<double>& x0) const;
+
+  // Minimizes c . x (maximizes -c . x); result.objective is c . x.
+  LpResult Minimize(const LpProblem& problem, const std::vector<double>& c,
+                    const std::vector<double>& x0) const;
+
+ private:
+  LpOptions opts_;
+};
+
+// Phase-I helper: finds a feasible point of `problem`, or returns NotFound
+// when the feasible region is (numerically) empty. `hint` seeds the search
+// (any point; does not need to be feasible). Internally solves the LP
+//   minimize t  s.t.  a_i . x - t <= b_i,  t >= -1
+// in d+1 dimensions with the same active-set solver.
+StatusOr<std::vector<double>> FindFeasiblePoint(
+    const LpProblem& problem, const std::vector<double>& hint,
+    const LpOptions& opts = LpOptions());
+
+}  // namespace nncell
+
+#endif  // NNCELL_LP_ACTIVE_SET_SOLVER_H_

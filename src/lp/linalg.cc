@@ -1,0 +1,71 @@
+#include "lp/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.h"
+
+namespace nncell {
+
+bool SolveLinearSystem(std::vector<double>& m, std::vector<double>& r,
+                       size_t k, double pivot_tol) {
+  for (size_t col = 0; col < k; ++col) {
+    // Partial pivoting.
+    size_t piv = col;
+    double best = std::abs(m[col * k + col]);
+    for (size_t row = col + 1; row < k; ++row) {
+      double v = std::abs(m[row * k + col]);
+      if (v > best) {
+        best = v;
+        piv = row;
+      }
+    }
+    if (best < pivot_tol) return false;
+    if (piv != col) {
+      for (size_t j = 0; j < k; ++j) std::swap(m[col * k + j], m[piv * k + j]);
+      std::swap(r[col], r[piv]);
+    }
+    double inv = 1.0 / m[col * k + col];
+    for (size_t row = col + 1; row < k; ++row) {
+      double f = m[row * k + col] * inv;
+      if (f == 0.0) continue;
+      for (size_t j = col; j < k; ++j) m[row * k + j] -= f * m[col * k + j];
+      r[row] -= f * r[col];
+    }
+  }
+  // Back substitution.
+  for (size_t i = k; i-- > 0;) {
+    double s = r[i];
+    for (size_t j = i + 1; j < k; ++j) s -= m[i * k + j] * r[j];
+    r[i] = s / m[i * k + i];
+  }
+  return true;
+}
+
+size_t OrthonormalBasis(const std::vector<const double*>& rows, size_t d,
+                        std::vector<double>& basis, double tol) {
+  basis.clear();
+  basis.reserve(rows.size() * d);
+  std::vector<double> v(d);
+  size_t rank = 0;
+  for (const double* row : rows) {
+    v.assign(row, row + d);
+    // Two passes of MGS for stability.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t q = 0; q < rank; ++q) {
+        const double* bq = basis.data() + q * d;
+        double proj = Dot(v.data(), bq, d);
+        for (size_t i = 0; i < d; ++i) v[i] -= proj * bq[i];
+      }
+    }
+    double norm = std::sqrt(L2NormSq(v.data(), d));
+    if (norm < tol) continue;
+    double inv = 1.0 / norm;
+    for (size_t i = 0; i < d; ++i) v[i] *= inv;
+    basis.insert(basis.end(), v.begin(), v.end());
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace nncell

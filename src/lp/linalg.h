@@ -1,0 +1,26 @@
+#ifndef NNCELL_LP_LINALG_H_
+#define NNCELL_LP_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace nncell {
+
+// Small dense linear algebra used by the active-set LP solver. Problem
+// dimensions are tiny (<= ~33), so simple Gaussian elimination with partial
+// pivoting is both fast and adequate.
+
+// Solves the k x k system M y = r in place. M is row-major and is
+// destroyed. Returns false when M is (numerically) singular.
+bool SolveLinearSystem(std::vector<double>& m, std::vector<double>& r,
+                       size_t k, double pivot_tol = 1e-12);
+
+// Computes an orthonormal basis (modified Gram-Schmidt) of the span of the
+// given k row vectors of length d. Output is packed row-major; returns the
+// rank. Vectors whose residual norm falls below `tol` are dropped.
+size_t OrthonormalBasis(const std::vector<const double*>& rows, size_t d,
+                        std::vector<double>& basis, double tol = 1e-10);
+
+}  // namespace nncell
+
+#endif  // NNCELL_LP_LINALG_H_

@@ -1,0 +1,29 @@
+#include "lp/lp_problem.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+
+namespace nncell {
+
+void LpProblem::AddBoxConstraints(const HyperRect& box) {
+  NNCELL_CHECK(box.dim() == dim_);
+  std::vector<double> row(dim_, 0.0);
+  for (size_t i = 0; i < dim_; ++i) {
+    row[i] = 1.0;
+    AddConstraint(row, box.hi(i));
+    row[i] = -1.0;
+    AddConstraint(row, -box.lo(i));
+    row[i] = 0.0;
+  }
+}
+
+double LpProblem::MaxViolation(const double* x) const {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < num_constraints(); ++i) {
+    worst = std::max(worst, Dot(row(i), x, dim_) - b_[i]);
+  }
+  return num_constraints() ? worst : 0.0;
+}
+
+}  // namespace nncell

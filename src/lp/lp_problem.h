@@ -1,0 +1,66 @@
+#ifndef NNCELL_LP_LP_PROBLEM_H_
+#define NNCELL_LP_LP_PROBLEM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/hyper_rect.h"
+#include "common/logging.h"
+
+namespace nncell {
+
+// A linear program over x in R^d with inequality constraints a_i . x <= b_i.
+// Rows are stored dense and row-major; the dimension is fixed at
+// construction. Box (data-space) constraints are plain rows so that the
+// solver sees a single homogeneous constraint system.
+class LpProblem {
+ public:
+  explicit LpProblem(size_t dim) : dim_(dim) { NNCELL_CHECK(dim > 0); }
+
+  size_t dim() const { return dim_; }
+  size_t num_constraints() const { return b_.size(); }
+
+  // Adds the constraint a . x <= b.
+  void AddConstraint(const double* a, double b) {
+    a_.insert(a_.end(), a, a + dim_);
+    b_.push_back(b);
+  }
+  void AddConstraint(const std::vector<double>& a, double b) {
+    NNCELL_CHECK(a.size() == dim_);
+    AddConstraint(a.data(), b);
+  }
+
+  // Adds 2d rows bounding x to the rectangle: x_i <= hi_i and -x_i <= -lo_i.
+  void AddBoxConstraints(const HyperRect& box);
+
+  // Row accessors.
+  const double* row(size_t i) const {
+    NNCELL_DCHECK(i < num_constraints());
+    return a_.data() + i * dim_;
+  }
+  double rhs(size_t i) const {
+    NNCELL_DCHECK(i < num_constraints());
+    return b_[i];
+  }
+
+  // Max violation of x over all constraints (<= 0 means feasible).
+  double MaxViolation(const double* x) const;
+
+  void Reserve(size_t rows) {
+    a_.reserve(rows * dim_);
+    b_.reserve(rows);
+  }
+  void Clear() {
+    a_.clear();
+    b_.clear();
+  }
+
+ private:
+  size_t dim_;
+  std::vector<double> a_;  // num_constraints x dim, row-major
+  std::vector<double> b_;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_LP_LP_PROBLEM_H_

@@ -1,0 +1,62 @@
+#include "model/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nncell {
+
+double UnitBallVolume(size_t d) {
+  // V_d = pi^(d/2) / Gamma(d/2 + 1).
+  double half = static_cast<double>(d) / 2.0;
+  return std::pow(M_PI, half) / std::tgamma(half + 1.0);
+}
+
+double ExpectedNNDistance(size_t n, size_t d) {
+  NNCELL_CHECK(n > 0 && d > 0);
+  // N * V_d * r^d = 1.
+  return std::pow(1.0 / (static_cast<double>(n) * UnitBallVolume(d)),
+                  1.0 / static_cast<double>(d));
+}
+
+namespace {
+
+double BinomialCoefficient(size_t n, size_t k) {
+  double result = 1.0;
+  for (size_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace
+
+double ExpectedNNPageAccesses(size_t n, size_t d, size_t c_eff) {
+  NNCELL_CHECK(n > 0 && d > 0 && c_eff > 0);
+  double num_pages =
+      std::ceil(static_cast<double>(n) / static_cast<double>(c_eff));
+  if (num_pages <= 1.0) return 1.0;
+  // Page regions as hypercubes with side a, volume c_eff/N.
+  double a = std::pow(static_cast<double>(c_eff) / static_cast<double>(n),
+                      1.0 / static_cast<double>(d));
+  double r = ExpectedNNDistance(n, d);
+  // A page is touched iff its region intersects the NN sphere: the page
+  // center lies in the Minkowski sum of its cube and the sphere.
+  double minkowski = 0.0;
+  for (size_t k = 0; k <= d; ++k) {
+    minkowski += BinomialCoefficient(d, k) *
+                 std::pow(a, static_cast<double>(d - k)) * UnitBallVolume(k) *
+                 std::pow(r, static_cast<double>(k));
+  }
+  // Expected pages = density of pages * intersected volume, capped.
+  double accesses = num_pages * std::min(1.0, minkowski);
+  return std::max(1.0, std::min(accesses, num_pages));
+}
+
+double ExpectedAccessFraction(size_t n, size_t d, size_t c_eff) {
+  double num_pages =
+      std::ceil(static_cast<double>(n) / static_cast<double>(c_eff));
+  return ExpectedNNPageAccesses(n, d, c_eff) / num_pages;
+}
+
+}  // namespace nncell

@@ -1,0 +1,37 @@
+#ifndef NNCELL_MODEL_COST_MODEL_H_
+#define NNCELL_MODEL_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace nncell {
+
+// Analytic cost model of nearest-neighbor search in high-dimensional data
+// spaces, after Berchtold, Boehm, Keim, Kriegel [BBKK 97] -- the paper's
+// theoretical motivation ("index-based approaches must access a large
+// portion of the data points in higher dimensions"). All formulas assume
+// N uniformly distributed points in [0,1]^d and Euclidean distance.
+
+// Volume of the d-dimensional unit ball.
+double UnitBallVolume(size_t d);
+
+// Expected nearest-neighbor distance: the radius r with
+// N * Vol(Ball(r)) = 1  =>  r = (Gamma(d/2+1) / (N * pi^(d/2)))^(1/d).
+// (Boundary effects ignored, as in the model.)
+double ExpectedNNDistance(size_t n, size_t d);
+
+// Expected number of data pages whose region intersects the NN sphere,
+// modelling page regions as hypercubes of volume c_eff / N (c_eff =
+// effective page capacity). Uses the Minkowski-sum volume
+//   vol(cube_a ⊕ ball_r) = sum_k C(d,k) a^(d-k) V_k r^k,
+// clipped to the total page count. This is the lower bound any
+// data-partitioning index must pay for an exact NN query.
+double ExpectedNNPageAccesses(size_t n, size_t d, size_t c_eff);
+
+// The fraction of all data pages an NN query touches under the model --
+// the "dimensionality curse" curve that motivates precomputing the
+// solution space.
+double ExpectedAccessFraction(size_t n, size_t d, size_t c_eff);
+
+}  // namespace nncell
+
+#endif  // NNCELL_MODEL_COST_MODEL_H_

@@ -1,0 +1,631 @@
+#include "nncell/nncell_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "rstar/rstar_tree.h"
+#include "xtree/xtree.h"
+
+namespace nncell {
+
+namespace {
+constexpr uint64_t kInvalidId = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+namespace {
+
+// Data space under the sqrt(weight) isometry: [0, sqrt(w_i)] per dim.
+HyperRect MetricSpaceBox(size_t dim, const std::vector<double>& weights) {
+  HyperRect box = HyperRect::UnitCube(dim);
+  if (!weights.empty()) {
+    NNCELL_CHECK_MSG(weights.size() == dim, "weight vector dim mismatch");
+    for (size_t i = 0; i < dim; ++i) {
+      NNCELL_CHECK_MSG(weights[i] > 0.0, "metric weights must be positive");
+      box.hi(i) = std::sqrt(weights[i]);
+    }
+  }
+  return box;
+}
+
+}  // namespace
+
+NNCellIndex::NNCellIndex(BufferPool* pool, size_t dim, NNCellOptions options)
+    : dim_(dim),
+      options_(options),
+      space_(MetricSpaceBox(dim, options.weights)),
+      points_(dim),
+      approximator_(dim, space_, options.lp) {
+  TreeOptions tree_opts = options_.tree;
+  tree_opts.dim = dim;
+  // Leaf entries are (approximation rectangle, point id); like the paper,
+  // the index stores only the approximations (2dN values) and owner
+  // coordinates are resolved from the point table at query time.
+  tree_opts.aux_per_entry = 0;
+  if (options_.use_xtree) {
+    tree_ = std::make_unique<XTree>(pool, tree_opts);
+  } else {
+    tree_ = std::make_unique<RStarTree>(pool, tree_opts);
+  }
+
+  // Build-time point index on private storage so that its page traffic
+  // never pollutes the query-time statistics of the cell index.
+  point_file_ = std::make_unique<PageFile>(pool->page_size());
+  point_pool_ = std::make_unique<BufferPool>(point_file_.get(), 4096);
+  TreeOptions point_opts;
+  point_opts.dim = dim;
+  point_tree_ = std::make_unique<XTree>(point_pool_.get(), point_opts);
+}
+
+NNCellIndex::~NNCellIndex() = default;
+
+double NNCellIndex::SphereRadius() const {
+  if (options_.sphere_radius > 0.0) return options_.sphere_radius;
+  return DefaultSphereRadius(std::max<size_t>(live_count_, 1), dim_);
+}
+
+std::vector<const double*> NNCellIndex::SelectCandidates(const double* point,
+                                                         uint64_t self) const {
+  std::vector<const double*> candidates;
+  switch (options_.algorithm) {
+    case ApproxAlgorithm::kCorrect: {
+      candidates.reserve(live_count_);
+      for (size_t j = 0; j < points_.size(); ++j) {
+        if (j != self && alive_[j]) candidates.push_back(points_[j]);
+      }
+      break;
+    }
+    case ApproxAlgorithm::kPoint: {
+      // "All points of which the rectangle in the index contains the
+      // point": every point stored on a leaf page of the point index whose
+      // page region contains `point`.
+      auto matches = point_tree_->LeafPageQuery(point);
+      for (const auto& m : matches) {
+        if (m.id != self) candidates.push_back(points_[m.id]);
+      }
+      break;
+    }
+    case ApproxAlgorithm::kSphere: {
+      // "All points of which the rectangle in the index intersects the
+      // sphere" around `point` with the heuristic radius. Optionally the
+      // page-granular result is filtered to the points actually inside
+      // the sphere, which caps the LP constraint count at the expected
+      // ~2^d near neighbors instead of everything sharing a page region.
+      double r = SphereRadius();
+      auto matches = point_tree_->LeafPageSphereQuery(point, r);
+      const double r_sq = r * r;
+      for (const auto& m : matches) {
+        if (m.id == self) continue;
+        if (options_.sphere_point_filter &&
+            L2DistSq(points_[m.id], point, dim_) > r_sq) {
+          continue;
+        }
+        candidates.push_back(points_[m.id]);
+      }
+      break;
+    }
+    case ApproxAlgorithm::kNNDirection: {
+      // Directional nearest neighbors; a scan with the same semantics as
+      // the paper's 4d index queries.
+      // The selector needs the probe point inside the set; when the point
+      // is new we scan manually.
+      const size_t d = dim_;
+      constexpr size_t kNone = std::numeric_limits<size_t>::max();
+      std::vector<size_t> nn_idx(2 * d, kNone), ax_idx(2 * d, kNone);
+      std::vector<double> nn_best(2 * d,
+                                  std::numeric_limits<double>::infinity());
+      std::vector<double> ax_best(2 * d, -1.0);
+      for (size_t j = 0; j < points_.size(); ++j) {
+        if (j == self || !alive_[j]) continue;
+        const double* p = points_[j];
+        double dist2 = L2DistSq(p, point, d);
+        if (dist2 == 0.0) continue;
+        double inv_norm = 1.0 / std::sqrt(dist2);
+        for (size_t i = 0; i < d; ++i) {
+          double comp = p[i] - point[i];
+          for (int sign = 0; sign < 2; ++sign) {
+            double along = sign ? -comp : comp;
+            if (along <= 0.0) continue;
+            size_t slot = 2 * i + sign;
+            if (dist2 < nn_best[slot]) {
+              nn_best[slot] = dist2;
+              nn_idx[slot] = j;
+            }
+            double cosine = along * inv_norm;
+            if (cosine > ax_best[slot]) {
+              ax_best[slot] = cosine;
+              ax_idx[slot] = j;
+            }
+          }
+        }
+      }
+      std::vector<size_t> ids;
+      for (size_t s = 0; s < 2 * d; ++s) {
+        if (nn_idx[s] != kNone) ids.push_back(nn_idx[s]);
+        if (ax_idx[s] != kNone) ids.push_back(ax_idx[s]);
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      for (size_t id : ids) candidates.push_back(points_[id]);
+      break;
+    }
+  }
+  return candidates;
+}
+
+std::vector<HyperRect> NNCellIndex::ComputeCellRects(const double* owner,
+                                                     uint64_t self) {
+  std::vector<const double*> candidates = SelectCandidates(owner, self);
+  HyperRect full =
+      approximator_.ApproximateMbr(owner, candidates, &build_stats_.approx);
+  if (options_.decomposition.max_partitions <= 1) {
+    return {full};
+  }
+  return DecomposeCell(approximator_, owner, candidates, full,
+                       options_.decomposition, &build_stats_.approx);
+}
+
+std::vector<double> NNCellIndex::ToMetricSpace(const double* x) const {
+  std::vector<double> y(x, x + dim_);
+  if (!options_.weights.empty()) {
+    for (size_t i = 0; i < dim_; ++i) y[i] *= std::sqrt(options_.weights[i]);
+  }
+  return y;
+}
+
+std::vector<double> NNCellIndex::FromMetricSpace(
+    const std::vector<double>& x) const {
+  std::vector<double> y = x;
+  if (!options_.weights.empty()) {
+    for (size_t i = 0; i < dim_; ++i) y[i] /= std::sqrt(options_.weights[i]);
+  }
+  return y;
+}
+
+StatusOr<uint64_t> NNCellIndex::RegisterPoint(
+    const std::vector<double>& original, bool insert_into_point_tree) {
+  if (original.size() != dim_) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  std::vector<double> point = ToMetricSpace(original.data());
+  if (!space_.ContainsPoint(point)) {
+    return Status::OutOfRange("point outside the data space [0,1]^d");
+  }
+  auto [it, inserted] = point_lookup_.emplace(point, points_.size());
+  if (!inserted) {
+    return Status::AlreadyExists("exact duplicate point");
+  }
+  uint64_t id = points_.Add(point);
+  cell_rects_.emplace_back();
+  alive_.push_back(true);
+  ++live_count_;
+  if (insert_into_point_tree) {
+    point_tree_->Insert(HyperRect::FromPoint(point), id);
+  }
+  return id;
+}
+
+StatusOr<uint64_t> NNCellIndex::Insert(const std::vector<double>& original) {
+  if (original.size() != dim_) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  std::vector<double> point = ToMetricSpace(original.data());
+  // 1. Find the cells the new point will shrink. Stale approximations
+  // remain correct supersets of the shrunk cells, so maintenance is a
+  // quality (overlap) concern, not a correctness one.
+  std::vector<uint64_t> affected;
+  if (options_.maintenance == MaintenanceMode::kExact) {
+    for (uint64_t id = 0; id < points_.size(); ++id) {
+      if (alive_[id] && CellAffectedBy(id, point.data())) {
+        affected.push_back(id);
+      }
+    }
+  } else if (options_.maintenance == MaintenanceMode::kSphere) {
+    double r = SphereRadius();
+    for (uint64_t id = 0; id < points_.size(); ++id) {
+      if (!alive_[id]) continue;
+      for (const HyperRect& rect : cell_rects_[id]) {
+        if (rect.MinDistSq(point.data()) <= r * r) {
+          affected.push_back(id);
+          break;
+        }
+      }
+    }
+  }
+
+  // 2. Register the point and insert its cell approximation.
+  StatusOr<uint64_t> id_or = RegisterPoint(original, true);
+  if (!id_or.ok()) return id_or;
+  uint64_t id = *id_or;
+  std::vector<HyperRect> rects = ComputeCellRects(points_[id], id);
+  for (const HyperRect& rect : rects) {
+    tree_->Insert(rect, id, points_[id]);
+    ++build_stats_.entries_inserted;
+  }
+  cell_rects_[id] = std::move(rects);
+
+  // 3. Maintenance: shrink the affected approximations.
+  for (uint64_t aff : affected) {
+    RecomputeCell(aff);
+    ++build_stats_.cells_recomputed;
+  }
+  return id;
+}
+
+Status NNCellIndex::Delete(uint64_t id) {
+  if (!IsAlive(id)) return Status::NotFound("no live point with this id");
+
+  // Cells adjacent to the deleted cell may grow into the freed region,
+  // which is contained in the deleted cell and hence in its MBR union:
+  // recompute every live cell whose approximation intersects it.
+  std::vector<uint64_t> affected;
+  for (uint64_t other = 0; other < points_.size(); ++other) {
+    if (other == id || !alive_[other]) continue;
+    bool touches = false;
+    for (const HyperRect& mine : cell_rects_[id]) {
+      for (const HyperRect& theirs : cell_rects_[other]) {
+        if (mine.Intersects(theirs)) {
+          touches = true;
+          break;
+        }
+      }
+      if (touches) break;
+    }
+    if (touches) affected.push_back(other);
+  }
+
+  // Remove the point and its approximations from both indexes.
+  for (const HyperRect& rect : cell_rects_[id]) {
+    bool removed = tree_->Delete(rect, id);
+    NNCELL_CHECK_MSG(removed, "indexed cell rectangle missing");
+  }
+  cell_rects_[id].clear();
+  bool removed =
+      point_tree_->Delete(HyperRect::FromPoint(points_[id], dim_), id);
+  NNCELL_CHECK_MSG(removed, "point tree entry missing");
+  point_lookup_.erase(points_.Get(id));
+  alive_[id] = false;
+  --live_count_;
+  ++build_stats_.deletions;
+
+  for (uint64_t aff : affected) {
+    RecomputeCell(aff);
+    ++build_stats_.cells_recomputed;
+  }
+  return Status::OK();
+}
+
+Status NNCellIndex::BulkBuild(const PointSet& pts) {
+  if (pts.dim() != dim_) return Status::InvalidArgument("dimension mismatch");
+  const bool fresh = points_.empty();
+  // Phase 1: register everything (points visible to candidate selection).
+  // On a fresh index the point tree is bulk-loaded afterwards instead of
+  // grown insert-by-insert.
+  std::vector<uint64_t> ids;
+  ids.reserve(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    StatusOr<uint64_t> id = RegisterPoint(pts.Get(i), !fresh);
+    if (id.ok()) {
+      ids.push_back(*id);
+    } else if (id.status().code() != StatusCode::kAlreadyExists) {
+      return id.status();
+    }
+  }
+  if (fresh) {
+    std::vector<Entry> point_entries;
+    point_entries.reserve(ids.size());
+    for (uint64_t id : ids) {
+      Entry e;
+      e.rect = HyperRect::FromPoint(points_[id], dim_);
+      e.id = id;
+      point_entries.push_back(std::move(e));
+    }
+    point_tree_->BulkLoad(std::move(point_entries));
+  }
+
+  // Phase 2: one approximation per cell against the full point set. The
+  // cell rectangles go through the tree's regular insert path: for fat,
+  // heavily overlapping rectangles the R*/X split machinery groups by
+  // rectangle similarity, which beats center-based STR packing here.
+  for (uint64_t id : ids) {
+    std::vector<HyperRect> rects = ComputeCellRects(points_[id], id);
+    for (const HyperRect& rect : rects) {
+      tree_->Insert(rect, id, points_[id]);
+      ++build_stats_.entries_inserted;
+    }
+    cell_rects_[id] = std::move(rects);
+  }
+  return Status::OK();
+}
+
+bool NNCellIndex::CellAffectedBy(uint64_t id, const double* p) const {
+  // The cell of `id` shrinks iff part of its (approximated) region is
+  // closer to p than to its owner. For an MBR B this holds iff
+  // min_{x in B} (|x-p|^2 - |x-owner|^2) < 0; the objective is linear in x
+  // so the minimum is at a corner, separable per dimension.
+  const double* owner = points_[id];
+  for (const HyperRect& rect : cell_rects_[id]) {
+    double min_val = 0.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      // f(x) = sum_k [ (x_k - p_k)^2 - (x_k - o_k)^2 ]
+      //      = sum_k [ 2 x_k (o_k - p_k) + p_k^2 - o_k^2 ]
+      double a = 2.0 * (owner[k] - p[k]);
+      double c = p[k] * p[k] - owner[k] * owner[k];
+      min_val += std::min(a * rect.lo(k), a * rect.hi(k)) + c;
+    }
+    if (min_val < 0.0) return true;
+  }
+  return false;
+}
+
+void NNCellIndex::RecomputeCell(uint64_t id) {
+  for (const HyperRect& rect : cell_rects_[id]) {
+    bool removed = tree_->Delete(rect, id);
+    NNCELL_CHECK_MSG(removed, "indexed cell rectangle missing");
+  }
+  std::vector<HyperRect> rects = ComputeCellRects(points_[id], id);
+  for (const HyperRect& rect : rects) {
+    tree_->Insert(rect, id, points_[id]);
+    ++build_stats_.entries_inserted;
+  }
+  cell_rects_[id] = std::move(rects);
+}
+
+StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
+    const double* q_original) const {
+  if (live_count_ == 0) return Status::FailedPrecondition("index is empty");
+
+  std::vector<double> q_vec = ToMetricSpace(q_original);
+  const double* q = q_vec.data();
+  QueryResult result;
+  auto matches = tree_->PointQuery(q);
+  result.candidates = matches.size();
+  double best = std::numeric_limits<double>::infinity();
+  uint64_t best_id = kInvalidId;
+  const double* best_point = nullptr;
+  for (const auto& m : matches) {
+    const double* owner = points_[m.id];
+    double d2 = L2DistSq(owner, q, dim_);
+    if (d2 < best || (d2 == best && m.id < best_id)) {
+      best = d2;
+      best_id = m.id;
+      best_point = owner;
+    }
+  }
+
+  if (best_id == kInvalidId) {
+    // Numeric edge (query on a cell face lost to LP tolerance) or query
+    // outside the data space: fall back to an exact scan. Lemma 2 makes
+    // this rare; the flag lets benchmarks count it.
+    result.used_fallback = true;
+    for (uint64_t id = 0; id < points_.size(); ++id) {
+      if (!alive_[id]) continue;
+      double d2 = L2DistSq(points_[id], q, dim_);
+      if (d2 < best) {
+        best = d2;
+        best_id = id;
+        best_point = points_[id];
+      }
+    }
+  }
+
+  result.id = best_id;
+  result.dist = std::sqrt(best);
+  result.point = FromMetricSpace(
+      std::vector<double>(best_point, best_point + dim_));
+  return result;
+}
+
+StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
+    const std::vector<double>& q) const {
+  NNCELL_CHECK(q.size() == dim_);
+  return Query(q.data());
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(
+    const double* q_original, size_t k) const {
+  if (live_count_ == 0) return Status::FailedPrecondition("index is empty");
+  std::vector<double> q_vec = ToMetricSpace(q_original);
+  const double* q = q_vec.data();
+  std::vector<QueryResult> results;
+  if (k == 0) return results;
+  k = std::min(k, live_count_);
+
+  // Seed radius from the point-query candidates: if they already cover k
+  // distinct owners, the k-th smallest owner distance bounds the k-NN
+  // radius from above.
+  auto matches = tree_->PointQuery(q);
+  std::vector<double> dists;
+  {
+    std::vector<uint64_t> ids;
+    for (const auto& m : matches) ids.push_back(m.id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (uint64_t id : ids) dists.push_back(L2DistSq(points_[id], q, dim_));
+  }
+  std::sort(dists.begin(), dists.end());
+
+  double radius_sq;
+  if (dists.size() >= k) {
+    radius_sq = dists[k - 1];
+  } else if (!dists.empty()) {
+    radius_sq = std::max(dists.back(), 1e-12);
+  } else {
+    radius_sq = 1e-6;  // numeric edge: start tiny and grow
+  }
+
+  // Ball query on the cell index, growing the radius until k owners lie
+  // within it. Each point's approximation contains the point itself, so
+  // the ball query cannot miss an owner inside the ball.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double r = std::sqrt(radius_sq);
+    HyperRect ball_box = HyperRect::Empty(dim_);
+    for (size_t i = 0; i < dim_; ++i) {
+      ball_box.lo(i) = q[i] - r;
+      ball_box.hi(i) = q[i] + r;
+    }
+    auto in_box = tree_->RangeQuery(ball_box);
+    std::vector<uint64_t> ids;
+    for (const auto& m : in_box) ids.push_back(m.id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+    std::vector<std::pair<double, uint64_t>> within;
+    for (uint64_t id : ids) {
+      double d2 = L2DistSq(points_[id], q, dim_);
+      if (d2 <= radius_sq) within.emplace_back(d2, id);
+    }
+    if (within.size() >= k) {
+      std::sort(within.begin(), within.end());
+      results.reserve(k);
+      for (size_t i = 0; i < k; ++i) {
+        QueryResult res;
+        res.id = within[i].second;
+        res.dist = std::sqrt(within[i].first);
+        const double* p = points_[res.id];
+        res.point = FromMetricSpace(std::vector<double>(p, p + dim_));
+        res.candidates = ids.size();
+        results.push_back(std::move(res));
+      }
+      return results;
+    }
+    radius_sq *= 4.0;  // double the radius and retry
+  }
+  return Status::Internal("kNN radius search did not converge");
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(
+    const std::vector<double>& q, size_t k) const {
+  NNCELL_CHECK(q.size() == dim_);
+  return KnnQuery(q.data(), k);
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::RangeSearch(
+    const double* q_original, double radius) const {
+  if (live_count_ == 0) return Status::FailedPrecondition("index is empty");
+  if (radius < 0.0) return Status::InvalidArgument("negative radius");
+  std::vector<double> q_vec = ToMetricSpace(q_original);
+  const double* q = q_vec.data();
+
+  HyperRect ball_box = HyperRect::Empty(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    ball_box.lo(i) = q[i] - radius;
+    ball_box.hi(i) = q[i] + radius;
+  }
+  auto in_box = tree_->RangeQuery(ball_box);
+  std::vector<uint64_t> ids;
+  for (const auto& m : in_box) ids.push_back(m.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  const double radius_sq = radius * radius;
+  std::vector<std::pair<double, uint64_t>> within;
+  for (uint64_t id : ids) {
+    double d2 = L2DistSq(points_[id], q, dim_);
+    if (d2 <= radius_sq) within.emplace_back(d2, id);
+  }
+  std::sort(within.begin(), within.end());
+
+  std::vector<QueryResult> results;
+  results.reserve(within.size());
+  for (const auto& [d2, id] : within) {
+    QueryResult res;
+    res.id = id;
+    res.dist = std::sqrt(d2);
+    const double* p = points_[id];
+    res.point = FromMetricSpace(std::vector<double>(p, p + dim_));
+    res.candidates = ids.size();
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::RangeSearch(
+    const std::vector<double>& q, double radius) const {
+  NNCELL_CHECK(q.size() == dim_);
+  return RangeSearch(q.data(), radius);
+}
+
+double NNCellIndex::ExpectedCandidates() const {
+  double total = 0.0;
+  for (const auto& rects : cell_rects_) {
+    for (const HyperRect& rect : rects) {
+      total += HyperRect::Intersection(rect, space_).Volume();
+    }
+  }
+  return total / space_.Volume();
+}
+
+const std::vector<HyperRect>& NNCellIndex::CellRects(uint64_t id) const {
+  NNCELL_CHECK(id < cell_rects_.size());
+  return cell_rects_[id];
+}
+
+Status NNCellIndex::CheckInvariants(size_t sample_queries,
+                                    uint64_t seed) const {
+  std::string tree_err = tree_->Validate();
+  if (!tree_err.empty()) return Status::Internal("cell tree: " + tree_err);
+  tree_err = point_tree_->Validate();
+  if (!tree_err.empty()) return Status::Internal("point tree: " + tree_err);
+
+  // Bookkeeping consistency.
+  size_t live = 0, entries = 0;
+  for (uint64_t id = 0; id < points_.size(); ++id) {
+    if (alive_[id]) {
+      ++live;
+      entries += cell_rects_[id].size();
+      if (cell_rects_[id].empty()) {
+        return Status::Internal("live point without approximation");
+      }
+      // Every point lies in its own cell, hence in one of its rects.
+      bool covered = false;
+      for (const HyperRect& rect : cell_rects_[id]) {
+        if (rect.ContainsPoint(points_[id])) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return Status::Internal("owner point outside its approximation");
+      }
+    } else if (!cell_rects_[id].empty()) {
+      return Status::Internal("dead point still has approximations");
+    }
+  }
+  if (live != live_count_) return Status::Internal("live count mismatch");
+  if (entries != tree_->size()) {
+    return Status::Internal("cell tree size mismatch");
+  }
+  if (live != point_tree_->size()) {
+    return Status::Internal("point tree size mismatch");
+  }
+
+  // Sampled end-to-end exactness against a brute-force scan.
+  if (live > 0) {
+    Rng rng(seed);
+    std::vector<double> q(dim_);
+    for (size_t t = 0; t < sample_queries; ++t) {
+      for (auto& v : q) v = rng.NextDouble();
+      // Query() transforms into metric space itself; scan in metric space.
+      StatusOr<QueryResult> r = Query(FromMetricSpace(q));
+      if (!r.ok()) return r.status();
+      double best = std::numeric_limits<double>::infinity();
+      for (uint64_t id = 0; id < points_.size(); ++id) {
+        if (!alive_[id]) continue;
+        best = std::min(best, L2DistSq(points_[id], q.data(), dim_));
+      }
+      if (std::abs(r->dist * r->dist - best) > 1e-9) {
+        return Status::Internal("sampled query returned a non-NN");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+RTreeCore::TreeInfo NNCellIndex::TreeInfo() const { return tree_->Info(); }
+
+std::string NNCellIndex::ValidateTree() const { return tree_->Validate(); }
+
+}  // namespace nncell

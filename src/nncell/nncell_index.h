@@ -1,0 +1,245 @@
+#ifndef NNCELL_NNCELL_NNCELL_INDEX_H_
+#define NNCELL_NNCELL_NNCELL_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hyper_rect.h"
+#include "common/point_set.h"
+#include "common/status.h"
+#include "geom/cell_approximator.h"
+#include "geom/decomposition.h"
+#include "rstar/rtree_core.h"
+#include "storage/buffer_pool.h"
+
+namespace nncell {
+
+// How existing cells are repaired after a dynamic insert. A new point only
+// ever *shrinks* cells, and a stale (larger) approximation is still a
+// correct superset, so maintenance is a quality knob, not a correctness
+// requirement (Section 2 of the paper).
+enum class MaintenanceMode {
+  kNone,    // never touch existing approximations
+  kSphere,  // the paper's heuristic: recompute cells whose MBR intersects a
+            // sphere around the new point
+  kExact,   // recompute exactly the cells whose MBR crosses the bisector of
+            // (owner, new point) -- every cell that can actually shrink
+};
+
+struct NNCellOptions {
+  // Which points contribute LP constraints (Section 2's four algorithms).
+  ApproxAlgorithm algorithm = ApproxAlgorithm::kSphere;
+
+  // Sphere strategy radius; 0 = the paper's heuristic, which shrinks as
+  // the database grows.
+  double sphere_radius = 0.0;
+
+  // Per-dimension weights of a weighted Euclidean metric
+  //   d_W(x,y)^2 = sum_i w_i (x_i - y_i)^2
+  // ("adaptable" similarity search: user-tuned feature importance).
+  // Empty = plain Euclidean. Implemented by the isometry x_i -> sqrt(w_i)
+  // x_i, under which every NN-cell/bisector argument goes through
+  // unchanged; reported distances are d_W, reported points are in the
+  // original coordinates.
+  std::vector<double> weights;
+
+  // Sphere strategy: additionally require the candidate *point* (not just
+  // its page region) to lie inside the sphere. Keeps the LP constraint
+  // count near-constant in N, making large static builds tractable; the
+  // MBRs may only grow (Lemma 1 still applies).
+  bool sphere_point_filter = true;
+
+  // Section 3 decomposition; max_partitions <= 1 disables it.
+  DecompositionOptions decomposition;
+
+  // Underlying multidimensional index for the approximations.
+  bool use_xtree = true;
+
+  MaintenanceMode maintenance = MaintenanceMode::kExact;
+
+  LpOptions lp;
+
+  // Options forwarded to the underlying tree (dim / aux are overwritten).
+  TreeOptions tree;
+};
+
+struct NNCellBuildStats {
+  ApproxStats approx;
+  size_t cells_recomputed = 0;  // dynamic-maintenance recomputations
+  size_t entries_inserted = 0;  // tree entries written (incl. decomposition)
+  size_t deletions = 0;
+};
+
+// The paper's contribution: nearest-neighbor search by indexing the
+// solution space. Every data point's NN-cell (order-1 Voronoi cell bounded
+// by the data space) is approximated by one or more MBRs via linear
+// programming and stored in an X-tree; a NN query is then a point query on
+// that index followed by exact distance checks among the candidate owners.
+class NNCellIndex {
+ public:
+  // `pool` provides the paged storage for the underlying tree. The data
+  // space is fixed to [0,1]^dim as in the paper.
+  NNCellIndex(BufferPool* pool, size_t dim, NNCellOptions options);
+  ~NNCellIndex();
+
+  NNCellIndex(const NNCellIndex&) = delete;
+  NNCellIndex& operator=(const NNCellIndex&) = delete;
+
+  size_t dim() const { return dim_; }
+  // Number of live points.
+  size_t size() const { return live_count_; }
+  // Internal point table in *metric-transformed* coordinates (identical to
+  // the input coordinates unless options().weights is set). Includes
+  // tombstoned points; check IsAlive().
+  const PointSet& points() const { return points_; }
+  const NNCellOptions& options() const { return options_; }
+  const NNCellBuildStats& build_stats() const { return build_stats_; }
+
+  // Dynamically inserts a point (paper Fig. 3: candidate selection, 2d LP
+  // runs, index insert, then maintenance of the cells the new point
+  // shrinks). Exact duplicates are rejected (their NN-cell would be
+  // degenerate).
+  StatusOr<uint64_t> Insert(const std::vector<double>& point);
+
+  // Static index creation (the paper's precomputation): registers all
+  // points first, then computes every approximation once against the full
+  // point set -- no maintenance needed. Duplicates are skipped.
+  Status BulkBuild(const PointSet& pts);
+
+  // Deletes a point. Neighboring cells grow into the freed region, so
+  // every cell whose approximation touches the deleted cell's
+  // approximation is recomputed (a superset of the true Voronoi
+  // neighbors; the paper defers to Roos' dynamic Voronoi algorithms for
+  // this case). Ids are stable; deleted ids are never reused.
+  Status Delete(uint64_t id);
+
+  // Whether the id refers to a live point.
+  bool IsAlive(uint64_t id) const {
+    return id < alive_.size() && alive_[id];
+  }
+
+  struct QueryResult {
+    uint64_t id = 0;              // index of the nearest neighbor
+    double dist = 0.0;            // Euclidean distance
+    std::vector<double> point;    // its coordinates
+    size_t candidates = 0;        // candidate cells inspected
+    bool used_fallback = false;   // numeric edge case: fell back to scan
+  };
+
+  // Nearest-neighbor query = point query on the approximation index plus
+  // exact distance checks over the candidates (Lemma 2 guarantees the true
+  // NN is always among them).
+  StatusOr<QueryResult> Query(const double* q) const;
+  StatusOr<QueryResult> Query(const std::vector<double>& q) const;
+
+  // Exact k-nearest-neighbor search -- the extension the paper names as
+  // future work. Every point within distance r of q has a cell
+  // approximation intersecting Ball(q, r) (the approximation contains its
+  // owner), so a ball query on the cell index with a radius that provably
+  // covers k owners returns a superset of the true k-NN. The radius comes
+  // from the point-query candidates and grows geometrically in the rare
+  // case they contain fewer than k owners. Results are ascending by
+  // distance; returns min(k, size()) entries.
+  StatusOr<std::vector<QueryResult>> KnnQuery(const double* q,
+                                              size_t k) const;
+  StatusOr<std::vector<QueryResult>> KnnQuery(const std::vector<double>& q,
+                                              size_t k) const;
+
+  // Similarity range query: every live point within `radius` of q
+  // (ascending by distance). Same covering argument as KnnQuery: each
+  // in-range owner's cell approximation contains the owner and therefore
+  // intersects Ball(q, radius), so a ball query on the cell index cannot
+  // miss one. Distances are in the configured (possibly weighted) metric.
+  StatusOr<std::vector<QueryResult>> RangeSearch(const double* q,
+                                                 double radius) const;
+  StatusOr<std::vector<QueryResult>> RangeSearch(const std::vector<double>& q,
+                                                 double radius) const;
+
+  // The paper's quality measure: the expected number of approximations
+  // containing a uniform query point (sum of MBR volumes over the data
+  // space volume). 1.0 = perfect (no overlap).
+  double ExpectedCandidates() const;
+
+  // The current approximation rectangles of one point (>= 1 entries).
+  const std::vector<HyperRect>& CellRects(uint64_t id) const;
+
+  // Underlying tree statistics / validation (test support).
+  RTreeCore::TreeInfo TreeInfo() const;
+  std::string ValidateTree() const;
+
+  // Deep self-check: validates the underlying tree, verifies that every
+  // live point lies inside (one of) its own approximation rectangles,
+  // that the indexed entries match the bookkeeping exactly, and that
+  // `sample_queries` random queries return the true nearest neighbor.
+  // Returns OK or a description of the first violation.
+  Status CheckInvariants(size_t sample_queries = 100,
+                         uint64_t seed = 0x5eed) const;
+
+  // Persistence: writes the complete index -- options, point table,
+  // approximations and both page files -- as one binary image. Restoring
+  // replaces the contents of `file` (the cell-index storage `pool` wraps;
+  // page size must match the saved one).
+  Status Save(std::ostream& out) const;
+  Status Save(const std::string& path) const;
+  static StatusOr<std::unique_ptr<NNCellIndex>> Load(std::istream& in,
+                                                     PageFile* file,
+                                                     BufferPool* pool);
+  static StatusOr<std::unique_ptr<NNCellIndex>> Load(const std::string& path,
+                                                     PageFile* file,
+                                                     BufferPool* pool);
+
+ private:
+  // Candidate constraint points for `point` (not yet inserted) per the
+  // configured algorithm; `self` is kInvalidId for new points or the id of
+  // the point whose cell is being recomputed.
+  std::vector<const double*> SelectCandidates(const double* point,
+                                              uint64_t self) const;
+
+  // Computes the decomposed MBR approximation of `owner`'s cell.
+  std::vector<HyperRect> ComputeCellRects(const double* owner, uint64_t self);
+
+  // Replaces the indexed rectangles of `id` with freshly computed ones.
+  void RecomputeCell(uint64_t id);
+
+  // True when the cell of `id` can shrink due to the new point `p`.
+  bool CellAffectedBy(uint64_t id, const double* p) const;
+
+  double SphereRadius() const;
+
+  // Applies / inverts the sqrt(weight) isometry (identity when unweighted).
+  std::vector<double> ToMetricSpace(const double* x) const;
+  std::vector<double> FromMetricSpace(const std::vector<double>& x) const;
+
+  // Registers the point in points_ / lookup (and, unless deferred for a
+  // bulk load, the point tree); returns its id or an error (duplicate,
+  // out of space, wrong dimension).
+  StatusOr<uint64_t> RegisterPoint(const std::vector<double>& point,
+                                   bool insert_into_point_tree);
+
+  size_t dim_;
+  NNCellOptions options_;
+  HyperRect space_;
+  PointSet points_;
+  CellApproximator approximator_;
+  std::unique_ptr<RTreeCore> tree_;  // indexes the cell approximations
+
+  // Build-time point index: the paper's Point/Sphere strategies select
+  // candidates by page rectangles of an index over the data points.
+  std::unique_ptr<PageFile> point_file_;
+  std::unique_ptr<BufferPool> point_pool_;
+  std::unique_ptr<RTreeCore> point_tree_;
+
+  std::vector<std::vector<HyperRect>> cell_rects_;  // per point id
+  std::vector<bool> alive_;                          // tombstones
+  size_t live_count_ = 0;
+  std::map<std::vector<double>, uint64_t> point_lookup_;  // duplicate check
+  NNCellBuildStats build_stats_;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_NNCELL_NNCELL_INDEX_H_

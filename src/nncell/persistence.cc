@@ -1,0 +1,196 @@
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "nncell/nncell_index.h"
+
+namespace nncell {
+
+namespace {
+
+constexpr uint64_t kIndexMagic = 0x4e4e43454c4c4958ULL;  // "NNCELLIX"
+constexpr uint32_t kIndexVersion = 1;
+
+void PutU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t GetU64(std::istream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+double GetF64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void PutDoubles(std::ostream& out, const std::vector<double>& v) {
+  PutU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> GetDoubles(std::istream& in) {
+  std::vector<double> v(GetU64(in));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(double)));
+  return v;
+}
+
+void PutRect(std::ostream& out, const HyperRect& r) {
+  PutDoubles(out, r.lo());
+  PutDoubles(out, r.hi());
+}
+
+HyperRect GetRect(std::istream& in) {
+  std::vector<double> lo = GetDoubles(in);
+  std::vector<double> hi = GetDoubles(in);
+  return HyperRect(std::move(lo), std::move(hi));
+}
+
+void PutTreeState(std::ostream& out, const RTreeCore::PersistentState& st) {
+  PutU64(out, st.root);
+  PutU64(out, st.height);
+  PutU64(out, st.size);
+}
+
+RTreeCore::PersistentState GetTreeState(std::istream& in) {
+  RTreeCore::PersistentState st;
+  st.root = static_cast<PageId>(GetU64(in));
+  st.height = GetU64(in);
+  st.size = GetU64(in);
+  return st;
+}
+
+}  // namespace
+
+Status NNCellIndex::Save(std::ostream& out) const {
+  PutU64(out, kIndexMagic);
+  PutU64(out, kIndexVersion);
+  PutU64(out, dim_);
+
+  // Options that affect on-disk interpretation / future mutations.
+  PutU64(out, static_cast<uint64_t>(options_.algorithm));
+  PutU64(out, options_.use_xtree ? 1 : 0);
+  PutU64(out, static_cast<uint64_t>(options_.maintenance));
+  PutU64(out, options_.sphere_point_filter ? 1 : 0);
+  PutF64(out, options_.sphere_radius);
+  PutU64(out, options_.decomposition.max_partitions);
+  PutU64(out, options_.decomposition.max_split_dims);
+  PutU64(out, static_cast<uint64_t>(options_.decomposition.measure));
+  PutDoubles(out, options_.weights);
+
+  // Point table + liveness + approximations.
+  PutDoubles(out, points_.raw());
+  PutU64(out, alive_.size());
+  for (bool a : alive_) out.put(a ? 1 : 0);
+  PutU64(out, live_count_);
+  for (const auto& rects : cell_rects_) {
+    PutU64(out, rects.size());
+    for (const HyperRect& r : rects) PutRect(out, r);
+  }
+
+  // Trees: logical state + page images (flush caches first).
+  point_pool_->Flush();
+  PutTreeState(out, tree_->SaveState());
+  PutTreeState(out, point_tree_->SaveState());
+  // The cell-index pool is owned by the caller; flush it so the page
+  // image on its PageFile is consistent, then dump both files.
+  tree_->pool()->Flush();
+  NNCELL_RETURN_IF_ERROR(tree_->pool()->file()->SaveTo(out));
+  NNCELL_RETURN_IF_ERROR(point_file_->SaveTo(out));
+  if (!out.good()) return Status::Internal("index write failed");
+  return Status::OK();
+}
+
+Status NNCellIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::InvalidArgument("cannot open " + path);
+  return Save(out);
+}
+
+StatusOr<std::unique_ptr<NNCellIndex>> NNCellIndex::Load(std::istream& in,
+                                                         PageFile* file,
+                                                         BufferPool* pool) {
+  if (GetU64(in) != kIndexMagic) {
+    return Status::InvalidArgument("not an NN-cell index image");
+  }
+  if (GetU64(in) != kIndexVersion) {
+    return Status::InvalidArgument("unsupported index version");
+  }
+  size_t dim = static_cast<size_t>(GetU64(in));
+
+  NNCellOptions options;
+  options.algorithm = static_cast<ApproxAlgorithm>(GetU64(in));
+  options.use_xtree = GetU64(in) != 0;
+  options.maintenance = static_cast<MaintenanceMode>(GetU64(in));
+  options.sphere_point_filter = GetU64(in) != 0;
+  options.sphere_radius = GetF64(in);
+  options.decomposition.max_partitions = static_cast<size_t>(GetU64(in));
+  options.decomposition.max_split_dims = static_cast<size_t>(GetU64(in));
+  options.decomposition.measure =
+      static_cast<ObliquenessMeasure>(GetU64(in));
+  options.weights = GetDoubles(in);
+
+  auto index = std::make_unique<NNCellIndex>(pool, dim, options);
+
+  // Point table.
+  std::vector<double> raw = GetDoubles(in);
+  if (raw.size() % dim != 0) {
+    return Status::InvalidArgument("corrupt point table");
+  }
+  for (size_t i = 0; i < raw.size(); i += dim) {
+    index->points_.Add(raw.data() + i);
+  }
+  uint64_t n = GetU64(in);
+  index->alive_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) index->alive_[i] = in.get() != 0;
+  index->live_count_ = static_cast<size_t>(GetU64(in));
+  index->cell_rects_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t rects = GetU64(in);
+    index->cell_rects_[i].reserve(rects);
+    for (uint64_t r = 0; r < rects; ++r) {
+      index->cell_rects_[i].push_back(GetRect(in));
+    }
+  }
+  // Rebuild the duplicate-lookup over live points.
+  for (uint64_t i = 0; i < n; ++i) {
+    if (index->alive_[i]) index->point_lookup_.emplace(index->points_.Get(i), i);
+  }
+
+  RTreeCore::PersistentState cell_state = GetTreeState(in);
+  RTreeCore::PersistentState point_state = GetTreeState(in);
+
+  // Restore the page images; the constructor's fresh root pages become
+  // dead pages of the restored image.
+  if (pool->file() != file) {
+    return Status::InvalidArgument("pool does not wrap the given file");
+  }
+  NNCELL_RETURN_IF_ERROR(file->LoadFrom(in));
+  pool->Invalidate();
+  index->tree_->RestoreState(cell_state);
+  NNCELL_RETURN_IF_ERROR(index->point_file_->LoadFrom(in));
+  index->point_pool_->Invalidate();
+  index->point_tree_->RestoreState(point_state);
+
+  if (!in.good()) return Status::InvalidArgument("truncated index image");
+  return index;
+}
+
+StatusOr<std::unique_ptr<NNCellIndex>> NNCellIndex::Load(
+    const std::string& path, PageFile* file, BufferPool* pool) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::InvalidArgument("cannot open " + path);
+  return Load(in, file, pool);
+}
+
+}  // namespace nncell

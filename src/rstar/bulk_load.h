@@ -1,0 +1,23 @@
+#ifndef NNCELL_RSTAR_BULK_LOAD_H_
+#define NNCELL_RSTAR_BULK_LOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rstar/node.h"
+
+namespace nncell {
+
+// Sort-Tile-Recursive packing [Leutenegger, Lopez, Edgington 1997]:
+// partitions a static entry set into groups of at most `capacity` entries
+// with locality-preserving tiling on the rectangle centers. Group sizes
+// are balanced (never below capacity/2 when more than one group exists),
+// so packed nodes respect R*-style minimum fill. Used to bulk-load the
+// precomputed NN-cell index: candidate cells of a query point end up on
+// few, spatially coherent pages.
+std::vector<std::vector<Entry>> StrPartition(std::vector<Entry> entries,
+                                             size_t capacity, size_t dim);
+
+}  // namespace nncell
+
+#endif  // NNCELL_RSTAR_BULK_LOAD_H_

@@ -1,0 +1,136 @@
+#ifndef NNCELL_RSTAR_NODE_H_
+#define NNCELL_RSTAR_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/hyper_rect.h"
+#include "storage/buffer_pool.h"
+
+namespace nncell {
+
+// One tree entry. In leaf nodes `id` is the caller's record id and `aux`
+// carries aux_per_entry payload doubles; in directory nodes `id` is the
+// child's first PageId and `aux` is empty.
+struct Entry {
+  HyperRect rect;
+  uint64_t id = 0;
+  std::vector<double> aux;
+};
+
+// Decoded node. A node's identity is its first page id; supernodes (X-tree)
+// chain additional overflow pages whose ids are recorded in the first
+// page's header, so the identity is stable while the node grows or shrinks.
+struct Node {
+  bool is_leaf = true;
+  std::vector<PageId> extra_pages;  // supernode overflow pages
+  std::vector<Entry> entries;
+
+  size_t page_span() const { return 1 + extra_pages.size(); }
+
+  // Tight bounding rectangle over all entries.
+  HyperRect ComputeMbr(size_t dim) const {
+    HyperRect r = HyperRect::Empty(dim);
+    for (const Entry& e : entries) r.ExpandToRect(e.rect);
+    return r;
+  }
+};
+
+// Zero-copy view of one serialized entry; pointers reference the node-scan
+// scratch buffer and are valid only inside the VisitNode callback.
+struct EntryView {
+  const double* lo;
+  const double* hi;
+  uint64_t id;
+  const double* aux;  // nullptr for internal entries or aux_per_entry == 0
+};
+
+// Serializes nodes into pages through the buffer pool and computes entry
+// capacities. Layout of a node occupying pages {p0, o1, ..., ok}:
+//   p0: [u8 is_leaf][u8 pad][u16 num_entries][u32 num_extra]
+//       [u32 overflow ids x num_extra][pad to 8B] [entry bytes ...]
+//   oi: [entry bytes continued ...]
+// Entries are fixed-size and 8-byte aligned within the assembled stream:
+// 2*dim doubles (rect), u64 id, aux doubles.
+class NodeStore {
+ public:
+  NodeStore(BufferPool* pool, size_t dim, size_t aux_per_entry);
+
+  size_t dim() const { return dim_; }
+  size_t aux_per_entry() const { return aux_; }
+
+  size_t LeafEntryBytes() const;
+  size_t InternalEntryBytes() const;
+
+  // Entry capacity of a node that owns `pages` pages.
+  size_t Capacity(bool is_leaf, size_t pages) const;
+
+  // Minimum number of pages needed for n entries.
+  size_t PagesNeeded(bool is_leaf, size_t n) const;
+
+  // Allocates the first page of a fresh node.
+  PageId AllocateNode();
+
+  // Reads and decodes the node rooted at `id` (fetches every spanned page).
+  Node Read(PageId id) const;
+
+  // Encodes and writes the node; grows/shrinks its overflow chain to fit
+  // the entry count (updates node->extra_pages).
+  void Write(PageId id, Node* node);
+
+  // Releases every page of the node.
+  void Free(PageId id, const Node& node);
+
+  // Allocation-free scan for the hot query paths: invokes
+  // visit(EntryView, is_leaf) for every entry and returns whether the node
+  // is a leaf. Reuses an internal scratch buffer, so the callback must
+  // finish before the next VisitNode call (queries therefore collect child
+  // page ids first and descend afterwards).
+  template <typename Fn>
+  bool VisitNode(PageId id, Fn&& visit) const {
+    const uint8_t* stream = AssembleNode(id);
+    const bool is_leaf = stream[0] != 0;
+    uint16_t num_entries;
+    std::memcpy(&num_entries, stream + 2, sizeof(num_entries));
+    uint32_t num_extra;
+    std::memcpy(&num_extra, stream + 4, sizeof(num_extra));
+    size_t offset = EntriesOffset(num_extra);
+    const size_t stride =
+        (is_leaf ? LeafEntryBytes() : InternalEntryBytes());
+    const size_t d = dim_;
+    for (uint16_t i = 0; i < num_entries; ++i, offset += stride) {
+      EntryView view;
+      view.lo = reinterpret_cast<const double*>(stream + offset);
+      view.hi = view.lo + d;
+      std::memcpy(&view.id, stream + offset + 2 * d * sizeof(double),
+                  sizeof(view.id));
+      view.aux = (is_leaf && aux_ > 0)
+                     ? reinterpret_cast<const double*>(
+                           stream + offset + 2 * d * sizeof(double) +
+                           sizeof(uint64_t))
+                     : nullptr;
+      visit(view, is_leaf);
+    }
+    return is_leaf;
+  }
+
+ private:
+  static size_t EntriesOffset(size_t num_extra) {
+    return (8 + num_extra * sizeof(uint32_t) + 7) & ~size_t{7};
+  }
+
+  // Concatenates the node's pages into scratch_ (or returns the cached
+  // frame directly for single-page nodes) and returns the byte stream.
+  const uint8_t* AssembleNode(PageId id) const;
+
+  BufferPool* pool_;
+  size_t dim_;
+  size_t aux_;
+  size_t page_size_;
+  mutable std::vector<uint8_t> scratch_;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_RSTAR_NODE_H_

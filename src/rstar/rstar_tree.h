@@ -1,0 +1,26 @@
+#ifndef NNCELL_RSTAR_RSTAR_TREE_H_
+#define NNCELL_RSTAR_RSTAR_TREE_H_
+
+#include "rstar/rtree_core.h"
+
+namespace nncell {
+
+// The R*-tree of Beckmann, Kriegel, Schneider and Seeger [BKSS 90]: the
+// baseline index of the paper's evaluation. All behaviour (ChooseSubtree
+// with overlap minimization, forced reinsert, topological split) lives in
+// RTreeCore; this class pins the classic configuration.
+class RStarTree : public RTreeCore {
+ public:
+  RStarTree(BufferPool* pool, TreeOptions options)
+      : RTreeCore(pool, FixOptions(options)) {}
+
+ private:
+  static TreeOptions FixOptions(TreeOptions o) {
+    o.max_supernode_pages = 1;  // R*-trees have no supernodes
+    return o;
+  }
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_RSTAR_RSTAR_TREE_H_

@@ -1,0 +1,109 @@
+#include "rstar/split.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace nncell {
+
+HyperRect MbrOfRange(const std::vector<Entry>& entries, size_t begin,
+                     size_t end, size_t dim) {
+  HyperRect r = HyperRect::Empty(dim);
+  for (size_t i = begin; i < end; ++i) r.ExpandToRect(entries[i].rect);
+  return r;
+}
+
+namespace {
+
+// Sorts by (lo, hi) or (hi, lo) along `axis`.
+void SortEntries(std::vector<Entry>& entries, size_t axis, bool by_lower) {
+  std::stable_sort(entries.begin(), entries.end(),
+                   [axis, by_lower](const Entry& a, const Entry& b) {
+                     double ka = by_lower ? a.rect.lo(axis) : a.rect.hi(axis);
+                     double kb = by_lower ? b.rect.lo(axis) : b.rect.hi(axis);
+                     if (ka != kb) return ka < kb;
+                     double sa = by_lower ? a.rect.hi(axis) : a.rect.lo(axis);
+                     double sb = by_lower ? b.rect.hi(axis) : b.rect.lo(axis);
+                     return sa < sb;
+                   });
+}
+
+}  // namespace
+
+std::pair<std::vector<Entry>, std::vector<Entry>> RStarSplit(
+    std::vector<Entry> entries, size_t dim, size_t min_fill) {
+  const size_t n = entries.size();
+  NNCELL_CHECK(n >= 2);
+  size_t m = std::min(min_fill, n / 2);
+  m = std::max<size_t>(m, 1);
+
+  // --- ChooseSplitAxis: minimize total margin over all distributions. ---
+  size_t best_axis = 0;
+  bool best_axis_by_lower = true;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  for (size_t axis = 0; axis < dim; ++axis) {
+    for (bool by_lower : {true, false}) {
+      SortEntries(entries, axis, by_lower);
+      // Prefix / suffix MBRs for O(n) margin evaluation.
+      std::vector<HyperRect> prefix(n), suffix(n);
+      prefix[0] = entries[0].rect;
+      for (size_t i = 1; i < n; ++i) {
+        prefix[i] = HyperRect::Union(prefix[i - 1], entries[i].rect);
+      }
+      suffix[n - 1] = entries[n - 1].rect;
+      for (size_t i = n - 1; i-- > 0;) {
+        suffix[i] = HyperRect::Union(suffix[i + 1], entries[i].rect);
+      }
+      double margin_sum = 0.0;
+      for (size_t k = m; k + m <= n; ++k) {
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_lower = by_lower;
+      }
+    }
+  }
+
+  // --- ChooseSplitIndex along the best axis. ---
+  // Consider both sort orders on the chosen axis (the R* paper fixes the
+  // axis by margin but evaluates distributions of both sortings).
+  size_t best_split = m;
+  bool best_by_lower = best_axis_by_lower;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (bool by_lower : {true, false}) {
+    SortEntries(entries, best_axis, by_lower);
+    std::vector<HyperRect> prefix(n), suffix(n);
+    prefix[0] = entries[0].rect;
+    for (size_t i = 1; i < n; ++i) {
+      prefix[i] = HyperRect::Union(prefix[i - 1], entries[i].rect);
+    }
+    suffix[n - 1] = entries[n - 1].rect;
+    for (size_t i = n - 1; i-- > 0;) {
+      suffix[i] = HyperRect::Union(suffix[i + 1], entries[i].rect);
+    }
+    for (size_t k = m; k + m <= n; ++k) {
+      double overlap = HyperRect::OverlapVolume(prefix[k - 1], suffix[k]);
+      double area = prefix[k - 1].Volume() + suffix[k].Volume();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_split = k;
+        best_by_lower = by_lower;
+      }
+    }
+  }
+
+  SortEntries(entries, best_axis, best_by_lower);
+  std::vector<Entry> left(std::make_move_iterator(entries.begin()),
+                          std::make_move_iterator(entries.begin() + best_split));
+  std::vector<Entry> right(std::make_move_iterator(entries.begin() + best_split),
+                           std::make_move_iterator(entries.end()));
+  return {std::move(left), std::move(right)};
+}
+
+}  // namespace nncell

@@ -1,0 +1,27 @@
+#ifndef NNCELL_RSTAR_SPLIT_H_
+#define NNCELL_RSTAR_SPLIT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "rstar/node.h"
+
+namespace nncell {
+
+// The R*-tree topological split [BKSS 90]:
+//  1. ChooseSplitAxis: the axis minimizing the summed margin over all
+//     candidate distributions (entries sorted by lower and by upper value).
+//  2. ChooseSplitIndex: along that axis, the distribution with minimal
+//     overlap between the two groups (ties: minimal summed area).
+// Each group ends up with at least `min_fill` entries.
+std::pair<std::vector<Entry>, std::vector<Entry>> RStarSplit(
+    std::vector<Entry> entries, size_t dim, size_t min_fill);
+
+// Shared helper: bounding rect of a contiguous range of entries.
+HyperRect MbrOfRange(const std::vector<Entry>& entries, size_t begin,
+                     size_t end, size_t dim);
+
+}  // namespace nncell
+
+#endif  // NNCELL_RSTAR_SPLIT_H_

@@ -1,0 +1,77 @@
+#include "scan/sequential_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/distance.h"
+#include "storage/byte_io.h"
+
+namespace nncell {
+
+SequentialScan::SequentialScan(BufferPool* pool, size_t dim)
+    : pool_(pool), dim_(dim) {
+  NNCELL_CHECK(dim > 0);
+  NNCELL_CHECK_MSG(RecordsPerPage() >= 1, "page too small for record");
+}
+
+size_t SequentialScan::RecordBytes() const {
+  return dim_ * sizeof(double) + sizeof(uint64_t);
+}
+
+size_t SequentialScan::RecordsPerPage() const {
+  return pool_->page_size() / RecordBytes();
+}
+
+void SequentialScan::Insert(const double* point, uint64_t id) {
+  if (pages_.empty() || last_page_fill_ == RecordsPerPage()) {
+    pages_.push_back(pool_->AllocatePage());
+    last_page_fill_ = 0;
+  }
+  uint8_t* frame = pool_->FetchMutable(pages_.back());
+  size_t offset = last_page_fill_ * RecordBytes();
+  ByteWriter writer(frame + offset, pool_->page_size() - offset);
+  writer.PutDoubles(point, dim_);
+  writer.Put<uint64_t>(id);
+  ++last_page_fill_;
+  ++size_;
+}
+
+SequentialScan::Result SequentialScan::NearestNeighbor(const double* q) const {
+  auto results = KnnQuery(q, 1);
+  NNCELL_CHECK_MSG(!results.empty(), "NN query on empty scan");
+  return results.front();
+}
+
+std::vector<SequentialScan::Result> SequentialScan::KnnQuery(const double* q,
+                                                             size_t k) const {
+  std::vector<Result> best;  // kept sorted ascending, at most k entries
+  if (k == 0) return best;
+  size_t remaining = size_;
+  std::vector<double> point(dim_);
+  for (PageId page : pages_) {
+    const uint8_t* frame = pool_->Fetch(page);
+    size_t records = std::min(remaining, RecordsPerPage());
+    ByteReader reader(frame, pool_->page_size());
+    for (size_t r = 0; r < records; ++r) {
+      reader.GetDoubles(point.data(), dim_);
+      uint64_t id = reader.Get<uint64_t>();
+      double dist = L2Dist(point.data(), q, dim_);
+      if (best.size() < k || dist < best.back().dist) {
+        Result res;
+        res.id = id;
+        res.dist = dist;
+        res.point = point;
+        auto it = std::lower_bound(
+            best.begin(), best.end(), dist,
+            [](const Result& a, double d) { return a.dist < d; });
+        best.insert(it, std::move(res));
+        if (best.size() > k) best.pop_back();
+      }
+    }
+    remaining -= records;
+  }
+  return best;
+}
+
+}  // namespace nncell

@@ -1,0 +1,51 @@
+#ifndef NNCELL_SCAN_SEQUENTIAL_SCAN_H_
+#define NNCELL_SCAN_SEQUENTIAL_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_set.h"
+#include "storage/buffer_pool.h"
+
+namespace nncell {
+
+// Sequential-scan baseline: points packed densely into pages, NN search
+// reads every page. In high dimensions this is the bound index structures
+// must beat [BBKK 97]; it also serves as the correctness oracle in tests.
+class SequentialScan {
+ public:
+  SequentialScan(BufferPool* pool, size_t dim);
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  // Appends a point with the given record id.
+  void Insert(const double* point, uint64_t id);
+
+  struct Result {
+    uint64_t id = 0;
+    double dist = 0.0;
+    std::vector<double> point;
+  };
+
+  // Exact nearest neighbor by full scan (charges every data page).
+  Result NearestNeighbor(const double* q) const;
+
+  // Exact k nearest neighbors, ascending by distance.
+  std::vector<Result> KnnQuery(const double* q, size_t k) const;
+
+ private:
+  size_t RecordBytes() const;
+  size_t RecordsPerPage() const;
+
+  BufferPool* pool_;
+  size_t dim_;
+  size_t size_ = 0;
+  std::vector<PageId> pages_;
+  size_t last_page_fill_ = 0;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_SCAN_SEQUENTIAL_SCAN_H_

@@ -1,0 +1,139 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace nncell {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {
+  NNCELL_CHECK(file != nullptr);
+  NNCELL_CHECK(capacity_pages >= 1);
+  frames_.reserve(capacity_);
+}
+
+BufferPool::Frame& BufferPool::GetFrame(PageId id, bool load_from_disk) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    Touch(it->second);
+    return frames_[it->second];
+  }
+
+  size_t idx;
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else if (frames_.size() < capacity_) {
+    idx = frames_.size();
+    frames_.emplace_back();
+    frames_[idx].bytes.resize(file_->page_size());
+  } else {
+    idx = EvictOne();
+  }
+
+  Frame& f = frames_[idx];
+  f.id = id;
+  f.dirty = false;
+  if (load_from_disk) {
+    ++stats_.physical_reads;
+    file_->Read(id, f.bytes.data());
+  } else {
+    std::memset(f.bytes.data(), 0, f.bytes.size());
+  }
+  lru_.push_front(idx);
+  f.lru_it = lru_.begin();
+  map_[id] = idx;
+  return f;
+}
+
+void BufferPool::Touch(size_t frame_idx) {
+  lru_.erase(frames_[frame_idx].lru_it);
+  lru_.push_front(frame_idx);
+  frames_[frame_idx].lru_it = lru_.begin();
+}
+
+size_t BufferPool::EvictOne() {
+  NNCELL_CHECK(!lru_.empty());
+  size_t idx = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[idx];
+  if (f.dirty) {
+    ++stats_.writebacks;
+    file_->Write(f.id, f.bytes.data());
+  }
+  map_.erase(f.id);
+  f.id = kInvalidPageId;
+  return idx;
+}
+
+const uint8_t* BufferPool::Fetch(PageId id) {
+  ++stats_.logical_reads;
+  return GetFrame(id, /*load_from_disk=*/true).bytes.data();
+}
+
+uint8_t* BufferPool::FetchMutable(PageId id) {
+  ++stats_.logical_reads;
+  Frame& f = GetFrame(id, /*load_from_disk=*/true);
+  f.dirty = true;
+  return f.bytes.data();
+}
+
+PageId BufferPool::AllocatePage() {
+  PageId id = file_->Allocate();
+  Frame& f = GetFrame(id, /*load_from_disk=*/false);
+  f.dirty = true;
+  return id;
+}
+
+PageId BufferPool::AllocateRun(size_t count) {
+  PageId first = file_->AllocateRun(count);
+  for (size_t i = 0; i < count; ++i) {
+    Frame& f = GetFrame(first + static_cast<PageId>(i), false);
+    f.dirty = true;
+  }
+  return first;
+}
+
+void BufferPool::FreePage(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    size_t idx = it->second;
+    lru_.erase(frames_[idx].lru_it);
+    map_.erase(it);
+    frames_[idx].id = kInvalidPageId;
+    frames_[idx].dirty = false;
+    free_frames_.push_back(idx);
+  }
+  file_->Free(id);
+}
+
+void BufferPool::Flush() {
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      ++stats_.writebacks;
+      file_->Write(f.id, f.bytes.data());
+      f.dirty = false;
+    }
+  }
+}
+
+void BufferPool::Invalidate() {
+  for (Frame& f : frames_) {
+    f.id = kInvalidPageId;
+    f.dirty = false;
+  }
+  lru_.clear();
+  map_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) free_frames_.push_back(i);
+}
+
+void BufferPool::DropCache() {
+  Flush();
+  for (Frame& f : frames_) f.id = kInvalidPageId;
+  lru_.clear();
+  map_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) free_frames_.push_back(i);
+}
+
+}  // namespace nncell

@@ -1,0 +1,85 @@
+#ifndef NNCELL_STORAGE_BUFFER_POOL_H_
+#define NNCELL_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_file.h"
+
+namespace nncell {
+
+struct BufferStats {
+  uint64_t logical_reads = 0;   // Fetch calls
+  uint64_t physical_reads = 0;  // cache misses -> disk reads
+  uint64_t writebacks = 0;      // dirty evictions / flushes
+
+  void Reset() { logical_reads = physical_reads = writebacks = 0; }
+};
+
+// LRU page cache over a PageFile. Single-threaded by design (the paper's
+// experiments are sequential); pointers returned by Fetch are valid until
+// the next pool call. This is "the same amount of cache" every index
+// structure is allowed in the paper's evaluation.
+class BufferPool {
+ public:
+  BufferPool(PageFile* file, size_t capacity_pages);
+
+  size_t page_size() const { return file_->page_size(); }
+  size_t capacity() const { return capacity_; }
+  PageFile* file() const { return file_; }
+
+  // Read access to a page's bytes (through the cache).
+  const uint8_t* Fetch(PageId id);
+
+  // Write access; marks the page dirty. The frame contents are written
+  // back to the PageFile on eviction or Flush.
+  uint8_t* FetchMutable(PageId id);
+
+  // Allocates a fresh page and returns its id; the zeroed frame is cached
+  // and dirty.
+  PageId AllocatePage();
+  PageId AllocateRun(size_t count);
+
+  // Frees a page; drops its frame without write-back.
+  void FreePage(PageId id);
+
+  // Writes all dirty frames back.
+  void Flush();
+
+  // Flush + drop every frame: simulates a cold cache (used before queries
+  // so that page-access counts match the paper's cold measurements).
+  void DropCache();
+
+  // Drops every frame WITHOUT write-back. Only for invalidating the cache
+  // after the underlying PageFile was replaced wholesale (persistence).
+  void Invalidate();
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  struct Frame {
+    std::vector<uint8_t> bytes;
+    PageId id = kInvalidPageId;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_it;
+  };
+
+  Frame& GetFrame(PageId id, bool load_from_disk);
+  void Touch(size_t frame_idx);
+  size_t EvictOne();
+
+  PageFile* file_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<PageId, size_t> map_;
+  std::vector<size_t> free_frames_;
+  BufferStats stats_;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,104 @@
+#include "storage/page_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace nncell {
+
+PageId PageFile::Allocate() {
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    std::memset(PagePtr(id), 0, page_size_);
+    return id;
+  }
+  PageId id = static_cast<PageId>(num_pages());
+  pages_.resize(pages_.size() + page_size_, 0);
+  return id;
+}
+
+PageId PageFile::AllocateRun(size_t count) {
+  NNCELL_CHECK(count >= 1);
+  // Runs always come from the end of the file so they are contiguous.
+  PageId first = static_cast<PageId>(num_pages());
+  pages_.resize(pages_.size() + count * page_size_, 0);
+  return first;
+}
+
+void PageFile::Free(PageId id) {
+  NNCELL_CHECK(static_cast<size_t>(id) < num_pages());
+  free_list_.push_back(id);
+}
+
+void PageFile::Read(PageId id, uint8_t* out) {
+  ++disk_reads_;
+  ++per_disk_reads_[id % per_disk_reads_.size()];
+  std::memcpy(out, PagePtr(id), page_size_);
+}
+
+void PageFile::SetDeclustering(size_t disks) {
+  NNCELL_CHECK(disks >= 1);
+  per_disk_reads_.assign(disks, 0);
+}
+
+uint64_t PageFile::MaxDiskReads() const {
+  uint64_t worst = 0;
+  for (uint64_t v : per_disk_reads_) worst = std::max(worst, v);
+  return worst;
+}
+
+void PageFile::Write(PageId id, const uint8_t* data) {  // writes not declustered (build-time)
+  ++disk_writes_;
+  std::memcpy(PagePtr(id), data, page_size_);
+}
+
+namespace {
+constexpr uint64_t kPageFileMagic = 0x4e4e43454c4c5046ULL;  // "NNCELLPF"
+}  // namespace
+
+Status PageFile::SaveTo(std::ostream& out) const {
+  auto put64 = [&out](uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put64(kPageFileMagic);
+  put64(page_size_);
+  put64(num_pages());
+  put64(free_list_.size());
+  for (PageId id : free_list_) put64(id);
+  out.write(reinterpret_cast<const char*>(pages_.data()),
+            static_cast<std::streamsize>(pages_.size()));
+  if (!out.good()) return Status::Internal("page file write failed");
+  return Status::OK();
+}
+
+Status PageFile::LoadFrom(std::istream& in) {
+  // Replaces the current image entirely; any BufferPool on top must call
+  // Invalidate() afterwards.
+  auto get64 = [&in]() {
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (get64() != kPageFileMagic) {
+    return Status::InvalidArgument("bad page file magic");
+  }
+  uint64_t page_size = get64();
+  if (page_size != page_size_) {
+    return Status::InvalidArgument("page size mismatch");
+  }
+  uint64_t pages = get64();
+  uint64_t free_count = get64();
+  free_list_.resize(free_count);
+  for (uint64_t i = 0; i < free_count; ++i) {
+    free_list_[i] = static_cast<PageId>(get64());
+  }
+  pages_.resize(pages * page_size_);
+  in.read(reinterpret_cast<char*>(pages_.data()),
+          static_cast<std::streamsize>(pages_.size()));
+  if (!in.good()) return Status::InvalidArgument("truncated page file");
+  return Status::OK();
+}
+
+}  // namespace nncell

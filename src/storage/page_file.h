@@ -1,0 +1,82 @@
+#ifndef NNCELL_STORAGE_PAGE_FILE_H_
+#define NNCELL_STORAGE_PAGE_FILE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace nncell {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+// Simulated secondary storage: a flat array of fixed-size pages plus
+// disk-access counters. The paper's evaluation is in page accesses, so
+// every Read/Write here is one "disk I/O"; the BufferPool in front of this
+// class models the main-memory cache all competing index structures get.
+class PageFile {
+ public:
+  explicit PageFile(size_t page_size = 4096) : page_size_(page_size) {
+    NNCELL_CHECK(page_size >= 64);
+  }
+
+  size_t page_size() const { return page_size_; }
+  size_t num_pages() const { return pages_.size() / page_size_; }
+
+  // Allocates one zeroed page and returns its id. Reuses freed pages;
+  // otherwise ids are consecutive (supernodes rely on contiguous ranges
+  // from AllocateRun).
+  PageId Allocate();
+
+  // Allocates `count` consecutive pages, returns the first id.
+  PageId AllocateRun(size_t count);
+
+  // Returns a page to the free list.
+  void Free(PageId id);
+
+  void Read(PageId id, uint8_t* out);
+  void Write(PageId id, const uint8_t* data);
+
+  uint64_t disk_reads() const { return disk_reads_; }
+  uint64_t disk_writes() const { return disk_writes_; }
+  void ResetStats() {
+    disk_reads_ = disk_writes_ = 0;
+    std::fill(per_disk_reads_.begin(), per_disk_reads_.end(), uint64_t{0});
+  }
+
+  // Declustering simulation [Ber+ 97]: pages are distributed round-robin
+  // over `disks` independent devices. MaxDiskReads() is the depth of the
+  // parallel read schedule since the last ResetStats() -- with D disks the
+  // parallel I/O time of a query is the maximum per-disk read count, not
+  // the sum. disks = 1 (default) models a single device.
+  void SetDeclustering(size_t disks);
+  size_t disks() const { return per_disk_reads_.size(); }
+  uint64_t MaxDiskReads() const;
+
+  // Persistence: dumps/restores the full page image and free list.
+  // LoadFrom replaces the current image (page size must match); any
+  // BufferPool on top must be Invalidate()d afterwards.
+  Status SaveTo(std::ostream& out) const;
+  Status LoadFrom(std::istream& in);
+
+ private:
+  uint8_t* PagePtr(PageId id) {
+    NNCELL_CHECK(static_cast<size_t>(id) < num_pages());
+    return pages_.data() + static_cast<size_t>(id) * page_size_;
+  }
+
+  size_t page_size_;
+  std::vector<uint8_t> pages_;
+  std::vector<PageId> free_list_;
+  uint64_t disk_reads_ = 0;
+  uint64_t disk_writes_ = 0;
+  std::vector<uint64_t> per_disk_reads_ = {0};
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,85 @@
+#include "xtree/xsplit.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "rstar/split.h"
+
+namespace nncell {
+
+double SplitOverlap(const HyperRect& a, const HyperRect& b) {
+  double inter = HyperRect::OverlapVolume(a, b);
+  if (inter <= 0.0) return 0.0;
+  double uni = a.Volume() + b.Volume() - inter;
+  if (uni <= 0.0) return 1.0;  // degenerate: fully coincident flat rects
+  return inter / uni;
+}
+
+std::optional<std::pair<std::vector<Entry>, std::vector<Entry>>>
+OverlapMinimalSplit(std::vector<Entry> entries, size_t dim, size_t min_fill,
+                    double* achieved_overlap) {
+  const size_t n = entries.size();
+  NNCELL_CHECK(n >= 2);
+  size_t m = std::min(min_fill, n / 2);
+  m = std::max<size_t>(m, 1);
+
+  size_t best_axis = 0, best_split = 0;
+  bool best_by_lower = true;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_balance = std::numeric_limits<double>::infinity();
+
+  for (size_t axis = 0; axis < dim; ++axis) {
+    for (bool by_lower : {true, false}) {
+      std::stable_sort(entries.begin(), entries.end(),
+                       [axis, by_lower](const Entry& a, const Entry& b) {
+                         double ka =
+                             by_lower ? a.rect.lo(axis) : a.rect.hi(axis);
+                         double kb =
+                             by_lower ? b.rect.lo(axis) : b.rect.hi(axis);
+                         return ka < kb;
+                       });
+      std::vector<HyperRect> prefix(n), suffix(n);
+      prefix[0] = entries[0].rect;
+      for (size_t i = 1; i < n; ++i) {
+        prefix[i] = HyperRect::Union(prefix[i - 1], entries[i].rect);
+      }
+      suffix[n - 1] = entries[n - 1].rect;
+      for (size_t i = n - 1; i-- > 0;) {
+        suffix[i] = HyperRect::Union(suffix[i + 1], entries[i].rect);
+      }
+      for (size_t k = m; k + m <= n; ++k) {
+        double overlap = SplitOverlap(prefix[k - 1], suffix[k]);
+        double balance =
+            std::abs(static_cast<double>(k) - static_cast<double>(n - k));
+        if (overlap < best_overlap - 1e-15 ||
+            (overlap <= best_overlap + 1e-15 && balance < best_balance)) {
+          best_overlap = std::min(overlap, best_overlap);
+          best_balance = balance;
+          best_axis = axis;
+          best_split = k;
+          best_by_lower = by_lower;
+        }
+      }
+    }
+  }
+
+  if (best_split == 0) return std::nullopt;  // no balanced split possible
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [best_axis, best_by_lower](const Entry& a, const Entry& b) {
+                     double ka = best_by_lower ? a.rect.lo(best_axis)
+                                               : a.rect.hi(best_axis);
+                     double kb = best_by_lower ? b.rect.lo(best_axis)
+                                               : b.rect.hi(best_axis);
+                     return ka < kb;
+                   });
+  if (achieved_overlap != nullptr) *achieved_overlap = best_overlap;
+  std::vector<Entry> left(std::make_move_iterator(entries.begin()),
+                          std::make_move_iterator(entries.begin() + best_split));
+  std::vector<Entry> right(std::make_move_iterator(entries.begin() + best_split),
+                           std::make_move_iterator(entries.end()));
+  return std::make_pair(std::move(left), std::move(right));
+}
+
+}  // namespace nncell

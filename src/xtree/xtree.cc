@@ -1,0 +1,56 @@
+#include "xtree/xtree.h"
+
+#include "rstar/split.h"
+#include "xtree/xsplit.h"
+
+namespace nncell {
+
+XTree::XTree(BufferPool* pool, TreeOptions options)
+    : RTreeCore(pool, options) {
+  NNCELL_CHECK(options.max_supernode_pages >= 1);
+}
+
+size_t XTree::MaxEntries(const Node& node) const {
+  // A node may fill its current page span before overflow treatment runs.
+  return store().Capacity(node.is_leaf, node.page_span());
+}
+
+std::optional<std::pair<std::vector<Entry>, std::vector<Entry>>>
+XTree::SplitNode(const Node& node) {
+  const size_t dim = options().dim;
+  const size_t min_fill = MinFill(node.is_leaf);
+
+  // Data nodes always use the R* topological split (the X-tree changes the
+  // directory only).
+  if (node.is_leaf) {
+    return RStarSplit(node.entries, dim, min_fill);
+  }
+
+  // 1. Topological (R*) split attempt.
+  auto topo = RStarSplit(node.entries, dim, min_fill);
+  HyperRect left_mbr = MbrOfRange(topo.first, 0, topo.first.size(), dim);
+  HyperRect right_mbr = MbrOfRange(topo.second, 0, topo.second.size(), dim);
+  if (SplitOverlap(left_mbr, right_mbr) <= options().max_overlap) {
+    return topo;
+  }
+
+  // 2. Overlap-minimal split attempt.
+  double achieved = 1.0;
+  auto minimal =
+      OverlapMinimalSplit(node.entries, dim, min_fill, &achieved);
+  if (minimal.has_value() && achieved <= options().max_overlap) {
+    return minimal;
+  }
+
+  // 3. Supernode: grow instead of splitting, as long as the budget allows.
+  if (node.page_span() < options().max_supernode_pages) {
+    ++supernode_events_;
+    return std::nullopt;
+  }
+
+  // Budget exhausted: fall back to the least bad split available.
+  if (minimal.has_value()) return minimal;
+  return topo;
+}
+
+}  // namespace nncell

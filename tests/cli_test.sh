@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# End-to-end test of the nncell_cli tool: build an index from CSV,
+# inspect it, persist + reload it, and run NN / k-NN queries.
+set -euo pipefail
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+python3 - "$DIR" <<'PY'
+import random, sys
+random.seed(7)
+d = sys.argv[1]
+with open(d + "/pts.csv", "w") as f:
+    f.write("# 200 random 3-d points\n")
+    for _ in range(200):
+        f.write(",".join("%.6f" % random.random() for _ in range(3)) + "\n")
+with open(d + "/q.csv", "w") as f:
+    for _ in range(5):
+        f.write(",".join("%.6f" % random.random() for _ in range(3)) + "\n")
+PY
+
+"$CLI" build "$DIR/pts.csv" "$DIR/idx.nncell" --algorithm=sphere | grep -q "built"
+"$CLI" stats "$DIR/idx.nncell" | grep -q "validation:         OK"
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" | grep -c "nn id=" | grep -qx 5
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --k=3 | grep -qE "query 4: \(.*\) \(.*\) \(.*\)"
+# error paths
+! "$CLI" stats /nonexistent.idx 2>/dev/null
+! "$CLI" frobnicate 2>/dev/null
+echo "cli_test OK"

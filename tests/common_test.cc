@@ -1,0 +1,245 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/hyper_rect.h"
+#include "common/point_set.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace nncell {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_NE(s.ToString().find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMean) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.NextDouble());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, IndexInRange) {
+  Rng rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.NextIndex(10)];
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.NextGaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(HyperRectTest, UnitCube) {
+  HyperRect r = HyperRect::UnitCube(4);
+  EXPECT_EQ(r.dim(), 4u);
+  EXPECT_DOUBLE_EQ(r.Volume(), 1.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 4.0);
+  EXPECT_FALSE(r.IsEmpty());
+}
+
+TEST(HyperRectTest, EmptyRect) {
+  HyperRect r = HyperRect::Empty(3);
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);
+  double p[3] = {0.5, 0.5, 0.5};
+  r.ExpandToPoint(p);
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);  // degenerate but not empty
+  EXPECT_TRUE(r.ContainsPoint(p));
+}
+
+TEST(HyperRectTest, ContainsAndIntersects) {
+  HyperRect a({0.0, 0.0}, {1.0, 1.0});
+  HyperRect b({0.25, 0.25}, {0.5, 0.5});
+  HyperRect c({2.0, 2.0}, {3.0, 3.0});
+  EXPECT_TRUE(a.ContainsRect(b));
+  EXPECT_FALSE(b.ContainsRect(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching rectangles intersect.
+  HyperRect t({1.0, 0.0}, {2.0, 1.0});
+  EXPECT_TRUE(a.Intersects(t));
+}
+
+TEST(HyperRectTest, UnionIntersectionOverlap) {
+  HyperRect a({0.0, 0.0}, {2.0, 1.0});
+  HyperRect b({1.0, 0.5}, {3.0, 2.0});
+  HyperRect u = HyperRect::Union(a, b);
+  EXPECT_EQ(u, HyperRect({0.0, 0.0}, {3.0, 2.0}));
+  HyperRect i = HyperRect::Intersection(a, b);
+  EXPECT_EQ(i, HyperRect({1.0, 0.5}, {2.0, 1.0}));
+  EXPECT_DOUBLE_EQ(HyperRect::OverlapVolume(a, b), 0.5);
+  HyperRect c({5.0, 5.0}, {6.0, 6.0});
+  EXPECT_TRUE(HyperRect::Intersection(a, c).IsEmpty());
+  EXPECT_DOUBLE_EQ(HyperRect::OverlapVolume(a, c), 0.0);
+}
+
+TEST(HyperRectTest, Enlargement) {
+  HyperRect a({0.0, 0.0}, {1.0, 1.0});
+  HyperRect b({1.0, 0.0}, {2.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(HyperRectTest, MinMaxDist) {
+  HyperRect r({1.0, 1.0}, {2.0, 2.0});
+  double inside[2] = {1.5, 1.5};
+  EXPECT_DOUBLE_EQ(r.MinDistSq(inside), 0.0);
+  double outside[2] = {0.0, 1.5};
+  EXPECT_DOUBLE_EQ(r.MinDistSq(outside), 1.0);
+  EXPECT_DOUBLE_EQ(r.MaxDistSq(outside), 4.0 + 0.25);
+  // MINMAXDIST is between MINDIST and MAXDIST.
+  double q[2] = {0.0, 0.0};
+  double mind = r.MinDistSq(q), maxd = r.MaxDistSq(q), mm = r.MinMaxDistSq(q);
+  EXPECT_LE(mind, mm);
+  EXPECT_LE(mm, maxd);
+}
+
+TEST(HyperRectTest, MinMaxDistGuarantee) {
+  // MinMaxDist must upper-bound the distance to the nearest point stored on
+  // the rectangle boundary in the worst case: verify against random point
+  // placements on faces.
+  Rng rng(99);
+  HyperRect r({0.2, 0.3, 0.1}, {0.8, 0.9, 0.5});
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> q = {rng.NextDouble(), rng.NextDouble(),
+                             rng.NextDouble()};
+    double mm = r.MinMaxDistSq(q.data());
+    EXPECT_GE(mm, r.MinDistSq(q.data()) - 1e-12);
+    EXPECT_LE(mm, r.MaxDistSq(q.data()) + 1e-12);
+  }
+}
+
+TEST(HyperRectTest, RawHelpersMatchObjectMethods) {
+  Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t d = 1 + rng.NextIndex(12);
+    std::vector<double> lo(d), hi(d), q(d);
+    for (size_t i = 0; i < d; ++i) {
+      double a = rng.NextDouble(), b = rng.NextDouble();
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+      q[i] = rng.NextDouble(-0.5, 1.5);
+    }
+    HyperRect r(lo, hi);
+    EXPECT_EQ(RawContainsPoint(lo.data(), hi.data(), q.data(), d),
+              r.ContainsPoint(q.data()));
+    EXPECT_DOUBLE_EQ(RawMinDistSq(lo.data(), hi.data(), q.data(), d),
+                     r.MinDistSq(q.data()));
+    EXPECT_DOUBLE_EQ(RawMinMaxDistSq(lo.data(), hi.data(), q.data(), d),
+                     r.MinMaxDistSq(q.data()));
+    std::vector<double> lo2(d), hi2(d);
+    for (size_t i = 0; i < d; ++i) {
+      double a = rng.NextDouble(), b = rng.NextDouble();
+      lo2[i] = std::min(a, b);
+      hi2[i] = std::max(a, b);
+    }
+    HyperRect r2(lo2, hi2);
+    EXPECT_EQ(RawIntersects(lo.data(), hi.data(), lo2.data(), hi2.data(), d),
+              r.Intersects(r2));
+  }
+}
+
+TEST(PointSetTest, AddAndGet) {
+  PointSet ps(3);
+  EXPECT_TRUE(ps.empty());
+  size_t i = ps.Add({0.1, 0.2, 0.3});
+  size_t j = ps.Add({0.4, 0.5, 0.6});
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(j, 1u);
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_DOUBLE_EQ(ps[1][2], 0.6);
+  EXPECT_EQ(ps.Get(0), (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(PointSetTest, BoundingBox) {
+  PointSet ps(2);
+  ps.Add({0.1, 0.9});
+  ps.Add({0.5, 0.2});
+  HyperRect bb = ps.BoundingBox();
+  EXPECT_EQ(bb, HyperRect({0.1, 0.2}, {0.5, 0.9}));
+}
+
+TEST(DistanceTest, L2) {
+  std::vector<double> a = {0.0, 0.0, 0.0};
+  std::vector<double> b = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(L2DistSq(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(L2Dist(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(Dot(a.data(), b.data(), 3), 0.0);
+  EXPECT_DOUBLE_EQ(L2NormSq(b.data(), 3), 9.0);
+}
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace nncell

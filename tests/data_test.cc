@@ -1,0 +1,154 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/stats.h"
+#include "data/generators.h"
+
+namespace nncell {
+namespace {
+
+TEST(GeneratorsTest, UniformBasics) {
+  PointSet pts = GenerateUniform(5000, 6, 1);
+  EXPECT_EQ(pts.size(), 5000u);
+  EXPECT_EQ(pts.dim(), 6u);
+  // Uniform marginals: mean ~0.5, variance ~1/12, bounds respected.
+  for (size_t k = 0; k < 6; ++k) {
+    RunningStats s;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double v = pts[i][k];
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+      s.Add(v);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.02);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+  }
+}
+
+TEST(GeneratorsTest, UniformDeterministic) {
+  PointSet a = GenerateUniform(100, 4, 7);
+  PointSet b = GenerateUniform(100, 4, 7);
+  EXPECT_EQ(a.raw(), b.raw());
+  PointSet c = GenerateUniform(100, 4, 8);
+  EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(GeneratorsTest, GridIsRegular) {
+  PointSet pts = GenerateGrid(4, 3, 0.0, 1);
+  EXPECT_EQ(pts.size(), 64u);
+  // Every coordinate is a cell center (2i+1)/8.
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t k = 0; k < 3; ++k) {
+      double v = pts[i][k] * 8.0;
+      EXPECT_NEAR(v, std::round(v), 1e-12);
+      EXPECT_EQ(static_cast<int>(std::round(v)) % 2, 1);
+    }
+  }
+  EXPECT_FALSE(HasDuplicates(pts));
+}
+
+TEST(GeneratorsTest, GridJitterStaysInCell) {
+  PointSet pts = GenerateGrid(5, 2, 0.5, 3);
+  EXPECT_EQ(pts.size(), 25u);
+  PointSet centers = GenerateGrid(5, 2, 0.0, 3);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_LE(std::abs(pts[i][k] - centers[i][k]), 0.5 * 0.5 * 0.2 + 1e-12);
+    }
+  }
+}
+
+TEST(GeneratorsTest, SparseHasLargeSeparation) {
+  PointSet sparse = GenerateSparse(20, 4, 5);
+  PointSet uniform = GenerateUniform(20, 4, 5);
+  auto min_sep = [](const PointSet& pts) {
+    double best = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        best = std::min(best, L2DistSq(pts[i], pts[j], pts.dim()));
+      }
+    }
+    return std::sqrt(best);
+  };
+  EXPECT_GT(min_sep(sparse), min_sep(uniform));
+  EXPECT_FALSE(HasDuplicates(sparse));
+}
+
+TEST(GeneratorsTest, ClustersAreClustered) {
+  PointSet pts = GenerateClusters(2000, 8, 5, 0.03, 11);
+  EXPECT_EQ(pts.size(), 2000u);
+  // Clustered data: the average NN distance is much smaller than for
+  // uniform data of the same size.
+  auto avg_nn = [](const PointSet& pts) {
+    RunningStats s;
+    for (size_t i = 0; i < 200; ++i) {
+      double best = 1e300;
+      for (size_t j = 0; j < pts.size(); ++j) {
+        if (j == i) continue;
+        best = std::min(best, L2DistSq(pts[i], pts[j], pts.dim()));
+      }
+      s.Add(std::sqrt(best));
+    }
+    return s.mean();
+  };
+  PointSet uniform = GenerateUniform(2000, 8, 11);
+  EXPECT_LT(avg_nn(pts), 0.5 * avg_nn(uniform));
+}
+
+TEST(GeneratorsTest, FourierInBoundsAndClustered) {
+  PointSet pts = GenerateFourier(3000, 8, 42);
+  EXPECT_EQ(pts.size(), 3000u);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t k = 0; k < 8; ++k) {
+      ASSERT_GE(pts[i][k], 0.0);
+      ASSERT_LE(pts[i][k], 1.0);
+    }
+  }
+  // Higher coefficients have smaller spread (1/h decay), like real
+  // contour spectra.
+  RunningStats first, last;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    first.Add(pts[i][0]);
+    last.Add(pts[i][7]);
+  }
+  EXPECT_GT(first.stddev(), last.stddev());
+  // Strong clustering compared to uniform.
+  RunningStats nn_four, nn_uni;
+  PointSet uniform = GenerateUniform(3000, 8, 42);
+  for (size_t i = 0; i < 150; ++i) {
+    double bf = 1e300, bu = 1e300;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (j == i) continue;
+      bf = std::min(bf, L2DistSq(pts[i], pts[j], 8));
+      bu = std::min(bu, L2DistSq(uniform[i], uniform[j], 8));
+    }
+    nn_four.Add(std::sqrt(bf));
+    nn_uni.Add(std::sqrt(bu));
+  }
+  EXPECT_LT(nn_four.mean(), nn_uni.mean());
+}
+
+TEST(GeneratorsTest, QueriesCoverSpace) {
+  PointSet q = GenerateQueries(1000, 3, 9);
+  HyperRect bb = q.BoundingBox();
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_LT(bb.lo(k), 0.1);
+    EXPECT_GT(bb.hi(k), 0.9);
+  }
+}
+
+TEST(GeneratorsTest, HasDuplicatesDetects) {
+  PointSet pts(2);
+  pts.Add({0.1, 0.2});
+  pts.Add({0.3, 0.4});
+  EXPECT_FALSE(HasDuplicates(pts));
+  pts.Add({0.1, 0.2});
+  EXPECT_TRUE(HasDuplicates(pts));
+}
+
+}  // namespace
+}  // namespace nncell

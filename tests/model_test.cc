@@ -1,0 +1,92 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "model/cost_model.h"
+
+namespace nncell {
+namespace {
+
+TEST(CostModelTest, UnitBallVolumes) {
+  EXPECT_NEAR(UnitBallVolume(1), 2.0, 1e-12);           // segment [-1,1]
+  EXPECT_NEAR(UnitBallVolume(2), M_PI, 1e-12);          // disk
+  EXPECT_NEAR(UnitBallVolume(3), 4.0 * M_PI / 3.0, 1e-12);
+  // Ball volume peaks near d=5 and then decays.
+  EXPECT_GT(UnitBallVolume(5), UnitBallVolume(12));
+}
+
+TEST(CostModelTest, NNDistanceShrinksWithN) {
+  EXPECT_GT(ExpectedNNDistance(100, 8), ExpectedNNDistance(10000, 8));
+}
+
+TEST(CostModelTest, NNDistanceGrowsWithD) {
+  EXPECT_LT(ExpectedNNDistance(1000, 2), ExpectedNNDistance(1000, 8));
+  EXPECT_LT(ExpectedNNDistance(1000, 8), ExpectedNNDistance(1000, 16));
+  // At high d the expected NN distance stays comparable to the side
+  // length of the whole data space even for large N -- the heart of the
+  // dimensionality curse argument (the NN sphere of a 100k-point database
+  // at d=16 has a diameter larger than the space's side).
+  EXPECT_GT(ExpectedNNDistance(100000, 16), 0.5);
+}
+
+TEST(CostModelTest, NNDistanceMatchesSimulation) {
+  // The model ignores boundary effects, so compare in moderate d with a
+  // generous tolerance.
+  const size_t d = 4;
+  const size_t n = 5000;
+  PointSet pts = GenerateUniform(n, d, 1);
+  Rng rng(2);
+  RunningStats nn;
+  for (int t = 0; t < 300; ++t) {
+    std::vector<double> q(d);
+    for (auto& v : q) v = rng.NextDouble();
+    double best = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      best = std::min(best, L2DistSq(pts[i], q.data(), d));
+    }
+    nn.Add(std::sqrt(best));
+  }
+  double predicted = ExpectedNNDistance(n, d);
+  EXPECT_NEAR(nn.mean(), predicted, 0.35 * predicted);
+}
+
+TEST(CostModelTest, PageAccessesMonotoneInD) {
+  const size_t n = 100000, c = 30;
+  double prev = 0.0;
+  for (size_t d : {2u, 4u, 8u, 12u, 16u}) {
+    double pages = ExpectedNNPageAccesses(n, d, c);
+    EXPECT_GE(pages, prev);
+    prev = pages;
+  }
+}
+
+TEST(CostModelTest, HighDimAccessesMostPages) {
+  // [BBKK 97] / paper Section 1: in high dimensions every partitioning
+  // index must touch a large portion of the database.
+  EXPECT_GT(ExpectedAccessFraction(100000, 16, 30), 0.5);
+  EXPECT_LT(ExpectedAccessFraction(100000, 2, 30), 0.05);
+}
+
+TEST(CostModelTest, BoundsRespected) {
+  for (size_t d : {2u, 8u, 16u}) {
+    for (size_t n : {100u, 10000u}) {
+      double pages = ExpectedNNPageAccesses(n, d, 30);
+      EXPECT_GE(pages, 1.0);
+      EXPECT_LE(pages, std::ceil(n / 30.0));
+      double frac = ExpectedAccessFraction(n, d, 30);
+      EXPECT_GE(frac, 0.0);
+      EXPECT_LE(frac, 1.0);
+    }
+  }
+}
+
+TEST(CostModelTest, SinglePageDatabase) {
+  EXPECT_DOUBLE_EQ(ExpectedNNPageAccesses(20, 4, 30), 1.0);
+}
+
+}  // namespace
+}  // namespace nncell

@@ -1,0 +1,196 @@
+// Round-trip tests for index persistence: a saved and reloaded index must
+// answer every query identically and remain fully mutable.
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "nncell/nncell_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace nncell {
+namespace {
+
+TEST(PageFilePersistenceTest, RoundTrip) {
+  PageFile file(256);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  std::vector<uint8_t> data(256, 0x5a);
+  file.Write(a, data.data());
+  file.Free(b);
+
+  std::stringstream stream;
+  ASSERT_TRUE(file.SaveTo(stream).ok());
+
+  PageFile restored(256);
+  ASSERT_TRUE(restored.LoadFrom(stream).ok());
+  EXPECT_EQ(restored.num_pages(), 2u);
+  std::vector<uint8_t> out(256);
+  restored.Read(a, out.data());
+  EXPECT_EQ(out, data);
+  // Free list survives: next allocation reuses b.
+  EXPECT_EQ(restored.Allocate(), b);
+}
+
+TEST(PageFilePersistenceTest, PageSizeMismatchRejected) {
+  PageFile file(256);
+  file.Allocate();
+  std::stringstream stream;
+  ASSERT_TRUE(file.SaveTo(stream).ok());
+  PageFile other(512);
+  EXPECT_FALSE(other.LoadFrom(stream).ok());
+}
+
+TEST(PageFilePersistenceTest, GarbageRejected) {
+  std::stringstream stream("this is not a page file at all............");
+  PageFile file(256);
+  EXPECT_FALSE(file.LoadFrom(stream).ok());
+}
+
+struct SavedIndex {
+  std::unique_ptr<PageFile> file;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<NNCellIndex> index;
+};
+
+SavedIndex BuildSample(size_t dim, size_t n, NNCellOptions opts,
+                       uint64_t seed) {
+  SavedIndex s;
+  s.file = std::make_unique<PageFile>(2048);
+  s.pool = std::make_unique<BufferPool>(s.file.get(), 8192);
+  s.index = std::make_unique<NNCellIndex>(s.pool.get(), dim, opts);
+  EXPECT_TRUE(s.index->BulkBuild(GenerateUniform(n, dim, seed)).ok());
+  return s;
+}
+
+TEST(IndexPersistenceTest, RoundTripQueriesIdentical) {
+  NNCellOptions opts;
+  opts.algorithm = ApproxAlgorithm::kSphere;
+  SavedIndex original = BuildSample(4, 150, opts, 1);
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.index->Save(stream).ok());
+
+  PageFile file(2048);
+  BufferPool pool(&file, 8192);
+  auto loaded = NNCellIndex::Load(stream, &file, &pool);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ((*loaded)->size(), original.index->size());
+  EXPECT_EQ((*loaded)->dim(), original.index->dim());
+  EXPECT_EQ((*loaded)->ValidateTree(), "");
+  EXPECT_NEAR((*loaded)->ExpectedCandidates(),
+              original.index->ExpectedCandidates(), 1e-12);
+
+  PointSet queries = GenerateQueries(100, 4, 2);
+  for (size_t t = 0; t < queries.size(); ++t) {
+    auto a = original.index->Query(queries[t]);
+    auto b = (*loaded)->Query(queries[t]);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->id, b->id) << t;
+    EXPECT_DOUBLE_EQ(a->dist, b->dist);
+    EXPECT_EQ(a->candidates, b->candidates);
+  }
+}
+
+TEST(IndexPersistenceTest, LoadedIndexIsMutable) {
+  NNCellOptions opts;
+  SavedIndex original = BuildSample(3, 100, opts, 3);
+  std::stringstream stream;
+  ASSERT_TRUE(original.index->Save(stream).ok());
+
+  PageFile file(2048);
+  BufferPool pool(&file, 8192);
+  auto loaded = NNCellIndex::Load(stream, &file, &pool);
+  ASSERT_TRUE(loaded.ok());
+
+  // Insert, delete and re-query on the restored index.
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> p = {rng.NextDouble(), rng.NextDouble(),
+                             rng.NextDouble()};
+    auto id = (*loaded)->Insert(p);
+    ASSERT_TRUE(id.ok());
+    auto r = (*loaded)->Query(p);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->id, *id);
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*loaded)->Delete(i).ok());
+  }
+  EXPECT_EQ((*loaded)->size(), 110u);
+  EXPECT_EQ((*loaded)->ValidateTree(), "");
+}
+
+TEST(IndexPersistenceTest, PreservesDeletionsAndWeights) {
+  NNCellOptions opts;
+  opts.algorithm = ApproxAlgorithm::kCorrect;
+  opts.weights = {2.0, 0.5};
+  SavedIndex original = BuildSample(2, 60, opts, 5);
+  ASSERT_TRUE(original.index->Delete(10).ok());
+  ASSERT_TRUE(original.index->Delete(11).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.index->Save(stream).ok());
+  PageFile file(2048);
+  BufferPool pool(&file, 8192);
+  auto loaded = NNCellIndex::Load(stream, &file, &pool);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ((*loaded)->size(), 58u);
+  EXPECT_FALSE((*loaded)->IsAlive(10));
+  EXPECT_TRUE((*loaded)->IsAlive(12));
+  EXPECT_EQ((*loaded)->options().weights, opts.weights);
+
+  PointSet queries = GenerateQueries(50, 2, 6);
+  for (size_t t = 0; t < queries.size(); ++t) {
+    auto a = original.index->Query(queries[t]);
+    auto b = (*loaded)->Query(queries[t]);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->id, b->id);
+    EXPECT_DOUBLE_EQ(a->dist, b->dist);
+  }
+}
+
+TEST(IndexPersistenceTest, FileRoundTrip) {
+  NNCellOptions opts;
+  SavedIndex original = BuildSample(3, 80, opts, 7);
+  const char* path = "/tmp/nncell_persistence_test.idx";
+  ASSERT_TRUE(original.index->Save(std::string(path)).ok());
+
+  PageFile file(2048);
+  BufferPool pool(&file, 8192);
+  auto loaded = NNCellIndex::Load(std::string(path), &file, &pool);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), 80u);
+  std::remove(path);
+}
+
+TEST(IndexPersistenceTest, GarbageRejected) {
+  std::stringstream stream("garbage bytes here, not an index.........");
+  PageFile file(2048);
+  BufferPool pool(&file, 64);
+  auto loaded = NNCellIndex::Load(stream, &file, &pool);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(IndexPersistenceTest, MismatchedPoolRejected) {
+  NNCellOptions opts;
+  SavedIndex original = BuildSample(2, 20, opts, 8);
+  std::stringstream stream;
+  ASSERT_TRUE(original.index->Save(stream).ok());
+  PageFile file_a(2048), file_b(2048);
+  BufferPool pool(&file_a, 64);
+  auto loaded = NNCellIndex::Load(stream, &file_b, &pool);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace nncell

@@ -1,0 +1,240 @@
+// Randomized property suites cutting across modules: LP optima versus
+// sampling, tree structural invariants under mixed insert/delete
+// workloads, and NN-cell correctness under adversarial point layouts.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "geom/bisector.h"
+#include "geom/cell_approximator.h"
+#include "nncell/nncell_index.h"
+#include "rstar/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "xtree/xtree.h"
+
+namespace nncell {
+namespace {
+
+class LpVsSamplingTest : public ::testing::TestWithParam<size_t> {};
+
+// For random NN-cell systems, the LP face value must dominate every
+// sampled in-cell point and be attained up to tolerance by some direction.
+TEST_P(LpVsSamplingTest, FaceDominatesSamples) {
+  const size_t d = GetParam();
+  Rng rng(9000 + d);
+  for (int trial = 0; trial < 8; ++trial) {
+    PointSet pts(d);
+    size_t n = 10 + rng.NextIndex(40);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> p(d);
+      for (auto& v : p) v = rng.NextDouble();
+      pts.Add(p);
+    }
+    size_t owner = rng.NextIndex(n);
+    std::vector<const double*> others;
+    for (size_t i = 0; i < n; ++i) {
+      if (i != owner) others.push_back(pts[i]);
+    }
+    CellApproximator approx(d, HyperRect::UnitCube(d));
+    HyperRect mbr = approx.ApproximateMbr(pts[owner], others);
+
+    double max_seen = -1.0;  // max coordinate 0 among in-cell samples
+    for (int s = 0; s < 2000; ++s) {
+      std::vector<double> x(d);
+      for (auto& v : x) v = rng.NextDouble();
+      if (!IsInCell(x.data(), pts[owner], others, d)) continue;
+      max_seen = std::max(max_seen, x[0]);
+      EXPECT_LE(x[0], mbr.hi(0) + 1e-7);
+      EXPECT_GE(x[0], mbr.lo(0) - 1e-7);
+    }
+    if (max_seen >= 0.0) {
+      EXPECT_LE(max_seen, mbr.hi(0) + 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LpVsSamplingTest,
+                         ::testing::Values(2, 3, 4, 6, 8, 12));
+
+template <typename TreeT>
+void MixedWorkloadInvariants(uint64_t seed) {
+  Rng rng(seed);
+  PageFile file(1024);
+  BufferPool pool(&file, 4096);
+  TreeOptions opts;
+  opts.dim = 3;
+  TreeT tree(&pool, opts);
+
+  struct Live {
+    std::vector<double> p;
+    uint64_t id;
+  };
+  std::vector<Live> live;
+  uint64_t next_id = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.65 || live.empty()) {
+      std::vector<double> p = {rng.NextDouble(), rng.NextDouble(),
+                               rng.NextDouble()};
+      tree.Insert(HyperRect::FromPoint(p), next_id);
+      live.push_back(Live{p, next_id});
+      ++next_id;
+    } else {
+      size_t pick = rng.NextIndex(live.size());
+      ASSERT_TRUE(
+          tree.Delete(HyperRect::FromPoint(live[pick].p), live[pick].id));
+      live.erase(live.begin() + pick);
+    }
+    if (step % 500 == 499) {
+      ASSERT_EQ(tree.Validate(), "") << "step " << step;
+      ASSERT_EQ(tree.size(), live.size());
+    }
+  }
+  ASSERT_EQ(tree.Validate(), "");
+
+  // Final: every live point findable, sampled NN queries exact.
+  for (size_t i = 0; i < live.size(); i += 13) {
+    auto hits = tree.PointQuery(live[i].p.data());
+    bool found = false;
+    for (const auto& h : hits) found |= h.id == live[i].id;
+    EXPECT_TRUE(found);
+  }
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> q = {rng.NextDouble(), rng.NextDouble(),
+                             rng.NextDouble()};
+    auto knn = tree.KnnQuery(q.data(), 1);
+    ASSERT_EQ(knn.size(), 1u);
+    double best = 1e300;
+    for (const auto& l : live) {
+      best = std::min(best, L2Dist(l.p.data(), q.data(), 3));
+    }
+    EXPECT_NEAR(knn[0].dist, best, 1e-12);
+  }
+}
+
+TEST(MixedWorkloadTest, RStarTreeSurvivesChurn) {
+  MixedWorkloadInvariants<RStarTree>(111);
+}
+
+TEST(MixedWorkloadTest, XTreeSurvivesChurn) {
+  MixedWorkloadInvariants<XTree>(222);
+}
+
+TEST(AdversarialLayoutTest, CollinearPoints) {
+  // All points on a line: cells are slabs; LP systems are degenerate in
+  // d-1 dimensions.
+  const size_t d = 4;
+  PointSet pts(d);
+  for (int i = 0; i < 20; ++i) {
+    double t = 0.05 + 0.9 * i / 19.0;
+    pts.Add({t, t, t, t});
+  }
+  PageFile file(2048);
+  BufferPool pool(&file, 1024);
+  NNCellOptions opts;
+  opts.algorithm = ApproxAlgorithm::kCorrect;
+  NNCellIndex index(&pool, d, opts);
+  ASSERT_TRUE(index.BulkBuild(pts).ok());
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<double> q(d);
+    for (auto& v : q) v = rng.NextDouble();
+    auto r = index.Query(q);
+    ASSERT_TRUE(r.ok());
+    double best = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      best = std::min(best, L2Dist(pts[i], q.data(), d));
+    }
+    EXPECT_NEAR(r->dist, best, 1e-9);
+  }
+}
+
+TEST(AdversarialLayoutTest, CoplanarGridWithOutlier) {
+  const size_t d = 3;
+  PointSet pts(d);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      pts.Add({0.1 + 0.2 * i, 0.1 + 0.2 * j, 0.5});  // plane z=0.5
+    }
+  }
+  pts.Add({0.5, 0.5, 0.01});  // outlier below the plane
+  PageFile file(2048);
+  BufferPool pool(&file, 1024);
+  NNCellOptions opts;
+  opts.algorithm = ApproxAlgorithm::kCorrect;
+  NNCellIndex index(&pool, d, opts);
+  ASSERT_TRUE(index.BulkBuild(pts).ok());
+  // Queries near the outlier find it; queries above the plane never do.
+  auto low = index.Query({0.5, 0.5, 0.05});
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->id, 25u);
+  auto high = index.Query({0.33, 0.61, 0.9});
+  ASSERT_TRUE(high.ok());
+  EXPECT_NE(high->id, 25u);
+}
+
+TEST(AdversarialLayoutTest, PointsOnSpaceBoundary) {
+  const size_t d = 3;
+  PointSet pts(d);
+  pts.Add({0.0, 0.0, 0.0});
+  pts.Add({1.0, 1.0, 1.0});
+  pts.Add({0.0, 1.0, 0.0});
+  pts.Add({1.0, 0.0, 1.0});
+  pts.Add({0.5, 0.5, 0.5});
+  PageFile file(2048);
+  BufferPool pool(&file, 1024);
+  NNCellOptions opts;
+  NNCellIndex index(&pool, d, opts);
+  ASSERT_TRUE(index.BulkBuild(pts).ok());
+  Rng rng(77);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<double> q(d);
+    for (auto& v : q) v = rng.NextDouble();
+    auto r = index.Query(q);
+    ASSERT_TRUE(r.ok());
+    double best = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      best = std::min(best, L2Dist(pts[i], q.data(), d));
+    }
+    EXPECT_NEAR(r->dist, best, 1e-9);
+  }
+}
+
+TEST(AdversarialLayoutTest, NearDuplicateClusters) {
+  // Pairs of points separated by 1e-7: razor-thin cells.
+  const size_t d = 2;
+  Rng rng(88);
+  PointSet pts(d);
+  for (int i = 0; i < 15; ++i) {
+    double x = rng.NextDouble(0.1, 0.9), y = rng.NextDouble(0.1, 0.9);
+    pts.Add({x, y});
+    pts.Add({x + 1e-7, y});
+  }
+  PageFile file(2048);
+  BufferPool pool(&file, 1024);
+  NNCellOptions opts;
+  opts.algorithm = ApproxAlgorithm::kCorrect;
+  NNCellIndex index(&pool, d, opts);
+  ASSERT_TRUE(index.BulkBuild(pts).ok());
+  for (int t = 0; t < 100; ++t) {
+    std::vector<double> q = {rng.NextDouble(), rng.NextDouble()};
+    auto r = index.Query(q);
+    ASSERT_TRUE(r.ok());
+    double best = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      best = std::min(best, L2Dist(pts[i], q.data(), d));
+    }
+    EXPECT_NEAR(r->dist, best, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nncell

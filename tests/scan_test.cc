@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/point_set.h"
+#include "common/rng.h"
+#include "scan/sequential_scan.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace nncell {
+namespace {
+
+TEST(SequentialScanTest, SinglePoint) {
+  PageFile file(512);
+  BufferPool pool(&file, 8);
+  SequentialScan scan(&pool, 3);
+  std::vector<double> p = {0.1, 0.2, 0.3};
+  scan.Insert(p.data(), 7);
+  double q[3] = {0.0, 0.0, 0.0};
+  auto r = scan.NearestNeighbor(q);
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_NEAR(r.dist, L2Dist(p.data(), q, 3), 1e-12);
+  EXPECT_EQ(r.point, p);
+}
+
+TEST(SequentialScanTest, NnMatchesBruteForceAcrossPages) {
+  Rng rng(1);
+  PageFile file(512);  // small pages force multiple data pages
+  BufferPool pool(&file, 64);
+  SequentialScan scan(&pool, 4);
+  PointSet pts(4);
+  for (size_t i = 0; i < 500; ++i) {
+    std::vector<double> p(4);
+    for (auto& v : p) v = rng.NextDouble();
+    pts.Add(p);
+    scan.Insert(p.data(), i);
+  }
+  EXPECT_GT(scan.num_pages(), 10u);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.NextDouble();
+    auto r = scan.NearestNeighbor(q.data());
+    double best = 10.0;
+    uint64_t best_id = 0;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double d = L2Dist(pts[i], q.data(), 4);
+      if (d < best) {
+        best = d;
+        best_id = i;
+      }
+    }
+    EXPECT_EQ(r.id, best_id);
+    EXPECT_NEAR(r.dist, best, 1e-12);
+  }
+}
+
+TEST(SequentialScanTest, KnnSortedAndCorrect) {
+  Rng rng(2);
+  PageFile file(512);
+  BufferPool pool(&file, 64);
+  SequentialScan scan(&pool, 2);
+  PointSet pts(2);
+  for (size_t i = 0; i < 200; ++i) {
+    std::vector<double> p = {rng.NextDouble(), rng.NextDouble()};
+    pts.Add(p);
+    scan.Insert(p.data(), i);
+  }
+  std::vector<double> q = {0.5, 0.5};
+  auto knn = scan.KnnQuery(q.data(), 10);
+  ASSERT_EQ(knn.size(), 10u);
+  std::vector<double> dists;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    dists.push_back(L2Dist(pts[i], q.data(), 2));
+  }
+  std::sort(dists.begin(), dists.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(knn[i].dist, dists[i], 1e-12);
+}
+
+TEST(SequentialScanTest, KLargerThanN) {
+  PageFile file(512);
+  BufferPool pool(&file, 8);
+  SequentialScan scan(&pool, 2);
+  double p[2] = {0.5, 0.5};
+  scan.Insert(p, 1);
+  scan.Insert(p, 2);
+  double q[2] = {0.0, 0.0};
+  auto knn = scan.KnnQuery(q, 10);
+  EXPECT_EQ(knn.size(), 2u);
+}
+
+TEST(SequentialScanTest, ScanReadsEveryPage) {
+  Rng rng(3);
+  PageFile file(512);
+  BufferPool pool(&file, 4);  // tiny cache: all pages come from disk
+  SequentialScan scan(&pool, 8);
+  for (size_t i = 0; i < 300; ++i) {
+    std::vector<double> p(8);
+    for (auto& v : p) v = rng.NextDouble();
+    scan.Insert(p.data(), i);
+  }
+  pool.DropCache();
+  pool.ResetStats();
+  std::vector<double> q(8, 0.5);
+  scan.NearestNeighbor(q.data());
+  EXPECT_EQ(pool.stats().physical_reads, scan.num_pages());
+}
+
+}  // namespace
+}  // namespace nncell

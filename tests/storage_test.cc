@@ -1,0 +1,220 @@
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/byte_io.h"
+#include "storage/page_file.h"
+
+namespace nncell {
+namespace {
+
+TEST(ByteIoTest, RoundTripScalars) {
+  std::vector<uint8_t> buf(64);
+  ByteWriter w(buf.data(), buf.size());
+  w.Put<uint8_t>(7);
+  w.Put<uint16_t>(1234);
+  w.Put<uint32_t>(0xdeadbeef);
+  w.Put<uint64_t>(0x0123456789abcdefULL);
+  w.Put<double>(3.25);
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.Get<uint8_t>(), 7);
+  EXPECT_EQ(r.Get<uint16_t>(), 1234);
+  EXPECT_EQ(r.Get<uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.Get<uint64_t>(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.Get<double>(), 3.25);
+  EXPECT_EQ(r.position(), w.position());
+}
+
+TEST(ByteIoTest, RoundTripDoubleArray) {
+  std::vector<uint8_t> buf(128);
+  std::vector<double> in = {1.5, -2.25, 1e-12, 1e100};
+  ByteWriter w(buf.data(), buf.size());
+  w.PutDoubles(in.data(), in.size());
+  ByteReader r(buf.data(), buf.size());
+  std::vector<double> out(in.size());
+  r.GetDoubles(out.data(), out.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST(PageFileTest, AllocateReadWrite) {
+  PageFile file(256);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(file.num_pages(), 2u);
+  std::vector<uint8_t> data(256, 0xab), out(256, 0);
+  file.Write(a, data.data());
+  file.Read(a, out.data());
+  EXPECT_EQ(data, out);
+  // Page b stays zeroed.
+  file.Read(b, out.data());
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(file.disk_reads(), 2u);
+  EXPECT_EQ(file.disk_writes(), 1u);
+}
+
+TEST(PageFileTest, FreeListReuse) {
+  PageFile file(128);
+  PageId a = file.Allocate();
+  std::vector<uint8_t> data(128, 0xff);
+  file.Write(a, data.data());
+  file.Free(a);
+  PageId b = file.Allocate();
+  EXPECT_EQ(a, b);  // reused
+  std::vector<uint8_t> out(128, 0xff);
+  file.Read(b, out.data());
+  EXPECT_EQ(out[0], 0);  // zeroed on reuse
+}
+
+TEST(PageFileTest, AllocateRunIsContiguous) {
+  PageFile file(128);
+  file.Allocate();
+  PageId first = file.AllocateRun(4);
+  EXPECT_EQ(file.num_pages(), 5u);
+  EXPECT_EQ(first, 1u);
+}
+
+TEST(BufferPoolTest, CacheHitAvoidsDisk) {
+  PageFile file(128);
+  BufferPool pool(&file, 4);
+  PageId p = pool.AllocatePage();
+  pool.Flush();
+  file.ResetStats();
+  pool.ResetStats();
+  pool.Fetch(p);
+  pool.Fetch(p);
+  pool.Fetch(p);
+  EXPECT_EQ(pool.stats().logical_reads, 3u);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);  // allocated frame still hot
+  EXPECT_EQ(file.disk_reads(), 0u);
+}
+
+TEST(BufferPoolTest, ColdFetchHitsDisk) {
+  PageFile file(128);
+  BufferPool pool(&file, 4);
+  PageId p = pool.AllocatePage();
+  uint8_t* frame = pool.FetchMutable(p);
+  frame[0] = 42;
+  pool.DropCache();
+  pool.ResetStats();
+  const uint8_t* data = pool.Fetch(p);
+  EXPECT_EQ(data[0], 42);  // write-back happened
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  PageFile file(128);
+  BufferPool pool(&file, 2);
+  PageId a = pool.AllocatePage();
+  PageId b = pool.AllocatePage();
+  PageId c = pool.AllocatePage();  // evicts a (LRU)
+  pool.ResetStats();
+  pool.Fetch(b);  // hit
+  pool.Fetch(c);  // hit
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  pool.Fetch(a);  // miss
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST(BufferPoolTest, DirtyEvictionWritesBack) {
+  PageFile file(128);
+  BufferPool pool(&file, 1);
+  PageId a = pool.AllocatePage();
+  uint8_t* frame = pool.FetchMutable(a);
+  frame[5] = 99;
+  PageId b = pool.AllocatePage();  // evicts dirty a
+  (void)b;
+  EXPECT_GE(pool.stats().writebacks, 1u);
+  std::vector<uint8_t> out(128);
+  file.Read(a, out.data());
+  EXPECT_EQ(out[5], 99);
+}
+
+TEST(BufferPoolTest, LruOrderUpdatedByFetch) {
+  PageFile file(128);
+  BufferPool pool(&file, 2);
+  PageId a = pool.AllocatePage();
+  PageId b = pool.AllocatePage();
+  pool.Fetch(a);               // a most recent, b is LRU
+  PageId c = pool.AllocatePage();  // evicts b
+  (void)c;
+  pool.ResetStats();
+  pool.Fetch(a);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  pool.Fetch(b);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST(BufferPoolTest, FreePageDropsFrame) {
+  PageFile file(128);
+  BufferPool pool(&file, 4);
+  PageId a = pool.AllocatePage();
+  pool.FreePage(a);
+  PageId b = pool.AllocatePage();
+  EXPECT_EQ(a, b);  // file reuses the page id
+  const uint8_t* data = pool.Fetch(b);
+  EXPECT_EQ(data[0], 0);
+}
+
+TEST(PageFileTest, DeclusteringCounters) {
+  PageFile file(128);
+  file.SetDeclustering(4);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(file.Allocate());
+  std::vector<uint8_t> buf(128);
+  // Read pages 0..7: two reads land on each of the 4 disks.
+  for (PageId p : pages) file.Read(p, buf.data());
+  EXPECT_EQ(file.disks(), 4u);
+  EXPECT_EQ(file.MaxDiskReads(), 2u);
+  EXPECT_EQ(file.disk_reads(), 8u);
+  file.ResetStats();
+  EXPECT_EQ(file.MaxDiskReads(), 0u);
+  // Skewed access: all reads on one disk.
+  for (int i = 0; i < 5; ++i) file.Read(pages[0], buf.data());
+  EXPECT_EQ(file.MaxDiskReads(), 5u);
+}
+
+TEST(PageFileTest, SingleDiskDepthEqualsReads) {
+  PageFile file(128);
+  PageId p = file.Allocate();
+  std::vector<uint8_t> buf(128);
+  for (int i = 0; i < 3; ++i) file.Read(p, buf.data());
+  EXPECT_EQ(file.MaxDiskReads(), file.disk_reads());
+}
+
+TEST(BufferPoolTest, InvalidateDropsDirtyFrames) {
+  PageFile file(128);
+  BufferPool pool(&file, 4);
+  PageId p = pool.AllocatePage();
+  pool.Flush();
+  uint8_t* frame = pool.FetchMutable(p);
+  frame[0] = 77;        // dirty, never flushed
+  pool.Invalidate();    // must NOT write back
+  std::vector<uint8_t> out(128);
+  file.Read(p, out.data());
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(BufferPoolTest, ManyPagesStress) {
+  PageFile file(256);
+  BufferPool pool(&file, 8);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 100; ++i) {
+    PageId p = pool.AllocatePage();
+    uint8_t* frame = pool.FetchMutable(p);
+    std::memset(frame, i, 256);
+    ids.push_back(p);
+  }
+  pool.Flush();
+  for (int i = 0; i < 100; ++i) {
+    const uint8_t* data = pool.Fetch(ids[i]);
+    EXPECT_EQ(data[0], static_cast<uint8_t>(i)) << i;
+    EXPECT_EQ(data[255], static_cast<uint8_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace nncell

@@ -1,0 +1,244 @@
+// make_diagrams -- regenerates the paper's illustrative figures as SVG:
+//   fig1_voronoi.svg        order-2 Voronoi diagram + NN-diagram (Fig. 1)
+//   fig2_distributions.svg  NN-cells and MBR approximations for uniform,
+//                           grid and sparse data (Fig. 2 a-f)
+//   fig6_decomposition.svg  decomposing an oblique cell along each axis
+//                           (Fig. 6 a-c)
+//
+//   $ ./build/tools/make_diagrams [output_dir]
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/point_set.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "geom/bisector.h"
+#include "geom/cell_approximator.h"
+#include "geom/decomposition.h"
+#include "geom/voronoi2d.h"
+
+namespace {
+
+using namespace nncell;
+
+// Minimal SVG canvas: world coordinates [0,1]^2 per panel, mapped into a
+// grid of panels with labels.
+class SvgCanvas {
+ public:
+  SvgCanvas(int panels_x, int panels_y, int panel_px = 260, int margin = 40)
+      : panels_x_(panels_x), panel_px_(panel_px), margin_(margin) {
+    width_ = panels_x * (panel_px + margin) + margin;
+    height_ = panels_y * (panel_px + margin + 20) + margin;
+    body_ += "<rect width='100%' height='100%' fill='white'/>\n";
+  }
+
+  void StartPanel(int ix, int iy, const std::string& title) {
+    ox_ = margin_ + ix * (panel_px_ + margin_);
+    oy_ = margin_ + iy * (panel_px_ + margin_ + 20);
+    Rectangle(HyperRect({0.0, 0.0}, {1.0, 1.0}), "none", "#333", 1.5);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "<text x='%.1f' y='%.1f' font-family='sans-serif' "
+                  "font-size='13' fill='#222'>%s</text>\n",
+                  static_cast<double>(ox_),
+                  static_cast<double>(oy_ + panel_px_ + 16), title.c_str());
+    body_ += buf;
+  }
+
+  void Polygon(const Polygon2D& poly, const std::string& fill,
+               const std::string& stroke, double width = 1.0,
+               double opacity = 1.0) {
+    if (poly.IsEmpty()) return;
+    std::string points;
+    for (const auto& v : poly.vertices) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.2f,%.2f ", X(v[0]), Y(v[1]));
+      points += buf;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "<polygon points='%s' fill='%s' stroke='%s' "
+                  "stroke-width='%.2f' fill-opacity='%.2f'/>\n",
+                  points.c_str(), fill.c_str(), stroke.c_str(), width,
+                  opacity);
+    body_ += buf;
+  }
+
+  void Rectangle(const HyperRect& r, const std::string& fill,
+                 const std::string& stroke, double width = 1.0,
+                 double opacity = 1.0) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "<rect x='%.2f' y='%.2f' width='%.2f' height='%.2f' "
+                  "fill='%s' stroke='%s' stroke-width='%.2f' "
+                  "fill-opacity='%.2f'/>\n",
+                  X(r.lo(0)), Y(r.hi(1)), (r.hi(0) - r.lo(0)) * panel_px_,
+                  (r.hi(1) - r.lo(1)) * panel_px_, fill.c_str(),
+                  stroke.c_str(), width, opacity);
+    body_ += buf;
+  }
+
+  void Point(double x, double y, const std::string& fill, double radius = 3) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "<circle cx='%.2f' cy='%.2f' r='%.1f' fill='%s'/>\n", X(x),
+                  Y(y), radius, fill.c_str());
+    body_ += buf;
+  }
+
+  bool Save(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out.is_open()) return false;
+    out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width_
+        << "' height='" << height_ << "'>\n"
+        << body_ << "</svg>\n";
+    return out.good();
+  }
+
+ private:
+  double X(double wx) const { return ox_ + wx * panel_px_; }
+  double Y(double wy) const { return oy_ + (1.0 - wy) * panel_px_; }
+
+  int panels_x_, panel_px_, margin_;
+  int width_, height_;
+  int ox_ = 0, oy_ = 0;
+  std::string body_;
+};
+
+std::vector<const double*> AllOthers(const PointSet& pts, size_t skip) {
+  std::vector<const double*> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i != skip) out.push_back(pts[i]);
+  }
+  return out;
+}
+
+void DrawNNCells(SvgCanvas& svg, const PointSet& pts) {
+  for (size_t i = 0; i < pts.size(); ++i) {
+    Polygon2D cell =
+        ComputeNNCell2D(pts[i], AllOthers(pts, i), HyperRect::UnitCube(2));
+    svg.Polygon(cell, "none", "#4466aa", 1.0);
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    svg.Point(pts[i][0], pts[i][1], "#cc3333");
+  }
+}
+
+void DrawMbrs(SvgCanvas& svg, const PointSet& pts) {
+  CellApproximator approx(2, HyperRect::UnitCube(2));
+  for (size_t i = 0; i < pts.size(); ++i) {
+    HyperRect mbr = approx.ApproximateMbr(pts[i], AllOthers(pts, i));
+    svg.Rectangle(mbr, "#88aadd", "#335588", 1.0, 0.15);
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    svg.Point(pts[i][0], pts[i][1], "#cc3333");
+  }
+}
+
+void MakeFig1(const std::string& dir) {
+  // Paper Fig. 1: order-2 Voronoi diagram (a) and NN-diagram (b).
+  PointSet pts = GenerateUniform(9, 2, 12);
+  SvgCanvas svg(2, 1);
+  svg.StartPanel(0, 0, "(a) Voronoi diagram of order 2");
+  std::vector<const double*> sites;
+  for (size_t i = 0; i < pts.size(); ++i) sites.push_back(pts[i]);
+  const char* fills[] = {"#e8f0fe", "#fef3e8", "#e8fee9", "#fee8f4",
+                         "#f4e8fe", "#feffe8"};
+  int color = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      Polygon2D cell =
+          ComputeOrderMCell2D(sites, {i, j}, HyperRect::UnitCube(2));
+      if (cell.IsEmpty()) continue;
+      svg.Polygon(cell, fills[color++ % 6], "#4466aa", 0.8, 0.9);
+    }
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    svg.Point(pts[i][0], pts[i][1], "#cc3333");
+  }
+  svg.StartPanel(1, 0, "(b) NN-diagram (order-1 cells)");
+  DrawNNCells(svg, pts);
+  svg.Save(dir + "/fig1_voronoi.svg");
+}
+
+void MakeFig2(const std::string& dir) {
+  // Paper Fig. 2: NN-cells and MBR approximations under three
+  // distributions.
+  SvgCanvas svg(2, 3);
+  PointSet uniform = GenerateUniform(16, 2, 3);
+  svg.StartPanel(0, 0, "(a) uniform data: NN-cells");
+  DrawNNCells(svg, uniform);
+  svg.StartPanel(1, 0, "(b) uniform data: MBR approximations");
+  DrawMbrs(svg, uniform);
+
+  PointSet grid = GenerateGrid(4, 2, 0.0, 1);
+  svg.StartPanel(0, 1, "(c) multidim. uniform (grid): NN-cells");
+  DrawNNCells(svg, grid);
+  svg.StartPanel(1, 1, "(d) grid: MBRs == cells, no overlap");
+  DrawMbrs(svg, grid);
+
+  PointSet sparse = GenerateSparse(5, 2, 7);
+  svg.StartPanel(0, 2, "(e) sparse data: NN-cells");
+  DrawNNCells(svg, sparse);
+  svg.StartPanel(1, 2, "(f) sparse: MBRs cover most of the space");
+  DrawMbrs(svg, sparse);
+  svg.Save(dir + "/fig2_distributions.svg");
+}
+
+void MakeFig6(const std::string& dir) {
+  // Paper Fig. 6: decomposing an oblique cell. The diagonal neighbor pair
+  // makes the center cell oblique; decomposition along the oblique
+  // dimension shrinks the summed approximation volume.
+  PointSet pts(2);
+  pts.Add({0.45, 0.45});  // the oblique cell's owner
+  pts.Add({0.8, 0.8});
+  pts.Add({0.15, 0.1});
+  auto others = AllOthers(pts, 0);
+  CellApproximator approx(2, HyperRect::UnitCube(2));
+  HyperRect full = approx.ApproximateMbr(pts[0], others);
+
+  SvgCanvas svg(3, 1);
+  svg.StartPanel(0, 0, "(a) an oblique NN-cell and its MBR");
+  svg.Rectangle(full, "#88aadd", "#335588", 1.2, 0.15);
+  DrawNNCells(svg, pts);
+
+  DecompositionOptions opts;
+  opts.max_partitions = 2;
+  opts.max_split_dims = 1;
+  const char* titles[] = {"(b) decomposition in x-direction",
+                          "(c) decomposition in y-direction"};
+  for (int axis = 0; axis < 2; ++axis) {
+    svg.StartPanel(1 + axis, 0, titles[axis]);
+    // Force the split axis by slicing the full MBR manually.
+    double mid = 0.5 * (full.lo(axis) + full.hi(axis));
+    HyperRect lo_half = full, hi_half = full;
+    lo_half.hi(axis) = mid;
+    hi_half.lo(axis) = mid;
+    for (const HyperRect& clip : {lo_half, hi_half}) {
+      HyperRect piece = approx.ApproximateClippedMbr(pts[0], others, clip);
+      if (!piece.IsEmpty()) {
+        svg.Rectangle(piece, "#88dd99", "#338855", 1.2, 0.25);
+      }
+    }
+    DrawNNCells(svg, pts);
+  }
+  svg.Save(dir + "/fig6_decomposition.svg");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : ".";
+  MakeFig1(dir);
+  MakeFig2(dir);
+  MakeFig6(dir);
+  std::printf(
+      "wrote %s/fig1_voronoi.svg, fig2_distributions.svg, "
+      "fig6_decomposition.svg\n",
+      dir.c_str());
+  return 0;
+}

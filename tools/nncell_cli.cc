@@ -1,0 +1,231 @@
+// nncell_cli -- command-line front end for the NN-cell index.
+//
+//   nncell_cli build  <points.csv> <index.nncell> [--algorithm=sphere]
+//                     [--decompose=K] [--xtree=0|1]
+//   nncell_cli query  <index.nncell> <queries.csv> [--k=1]
+//   nncell_cli stats  <index.nncell>
+//
+// CSV files contain one point per line, comma-separated coordinates in
+// [0,1]. Lines starting with '#' are skipped. The build command prints
+// progress and writes a self-contained binary index image; query prints
+// one result line per query point.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "nncell/nncell_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace {
+
+using namespace nncell;
+
+StatusOr<PointSet> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  std::string line;
+  std::vector<std::vector<double>> rows;
+  size_t dim = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": not a number: " + cell);
+      }
+      row.push_back(v);
+    }
+    if (row.empty()) continue;
+    if (dim == 0) dim = row.size();
+    if (row.size() != dim) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": inconsistent dimension");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::InvalidArgument(path + ": no points");
+  PointSet pts(dim);
+  pts.Reserve(rows.size());
+  for (const auto& row : rows) pts.Add(row);
+  return pts;
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+int Build(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: nncell_cli build <points.csv> <out.nncell>\n");
+    return 2;
+  }
+  auto pts = ReadCsv(argv[2]);
+  if (!pts.ok()) {
+    std::fprintf(stderr, "%s\n", pts.status().ToString().c_str());
+    return 1;
+  }
+  NNCellOptions options;
+  if (const char* alg = FlagValue(argc, argv, "--algorithm")) {
+    std::string a = alg;
+    if (a == "correct") options.algorithm = ApproxAlgorithm::kCorrect;
+    else if (a == "point") options.algorithm = ApproxAlgorithm::kPoint;
+    else if (a == "sphere") options.algorithm = ApproxAlgorithm::kSphere;
+    else if (a == "nn-direction") options.algorithm = ApproxAlgorithm::kNNDirection;
+    else {
+      std::fprintf(stderr, "unknown algorithm %s\n", alg);
+      return 2;
+    }
+  }
+  if (const char* k = FlagValue(argc, argv, "--decompose")) {
+    options.decomposition.max_partitions = std::strtoul(k, nullptr, 10);
+  }
+  if (const char* x = FlagValue(argc, argv, "--xtree")) {
+    options.use_xtree = std::atoi(x) != 0;
+  }
+
+  PageFile file(4096);
+  BufferPool pool(&file, 4096);
+  NNCellIndex index(&pool, pts->dim(), options);
+  Stopwatch timer;
+  Status st = index.BulkBuild(*pts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  double secs = timer.ElapsedSeconds();
+  st = index.Save(std::string(argv[3]));
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "built %s: %zu points, dim=%zu, algorithm=%s, %.2fs,\n"
+      "  %zu LP runs, expected candidates per query %.2f\n",
+      argv[3], index.size(), index.dim(),
+      ApproxAlgorithmName(index.options().algorithm), secs,
+      index.build_stats().approx.lp_runs, index.ExpectedCandidates());
+  return 0;
+}
+
+int Query(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: nncell_cli query <index> <queries.csv>\n");
+    return 2;
+  }
+  PageFile file(4096);
+  BufferPool pool(&file, 4096);
+  auto index = NNCellIndex::Load(std::string(argv[2]), &file, &pool);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = ReadCsv(argv[3]);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  if (queries->dim() != (*index)->dim()) {
+    std::fprintf(stderr, "query dim %zu != index dim %zu\n", queries->dim(),
+                 (*index)->dim());
+    return 1;
+  }
+  size_t k = 1;
+  if (const char* kv = FlagValue(argc, argv, "--k")) {
+    k = std::strtoul(kv, nullptr, 10);
+  }
+  for (size_t i = 0; i < queries->size(); ++i) {
+    if (k == 1) {
+      auto r = (*index)->Query((*queries)[i]);
+      if (!r.ok()) {
+        std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu\n", i,
+                  static_cast<unsigned long long>(r->id), r->dist,
+                  r->candidates);
+    } else {
+      auto r = (*index)->KnnQuery((*queries)[i], k);
+      if (!r.ok()) {
+        std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("query %zu:", i);
+      for (const auto& hit : *r) {
+        std::printf(" (%llu, %.6f)", static_cast<unsigned long long>(hit.id),
+                    hit.dist);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: nncell_cli stats <index>\n");
+    return 2;
+  }
+  PageFile file(4096);
+  BufferPool pool(&file, 4096);
+  auto index = NNCellIndex::Load(std::string(argv[2]), &file, &pool);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto info = (*index)->TreeInfo();
+  std::printf("points:             %zu (dim %zu)\n", (*index)->size(),
+              (*index)->dim());
+  std::printf("algorithm:          %s\n",
+              ApproxAlgorithmName((*index)->options().algorithm));
+  std::printf("expected candidates:%.2f\n", (*index)->ExpectedCandidates());
+  std::printf("tree height:        %zu\n", info.height);
+  std::printf("tree nodes:         %zu (%zu leaves, %zu supernodes)\n",
+              info.num_nodes, info.num_leaves, info.num_supernodes);
+  std::printf("tree pages:         %zu (%zu bytes)\n", info.total_pages,
+              info.total_pages * 4096);
+  std::printf("validation:         %s\n",
+              (*index)->ValidateTree().empty() ? "OK"
+                                               : (*index)->ValidateTree().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: nncell_cli <build|query|stats> ...\n"
+                 "  build <points.csv> <out.nncell> [--algorithm=A]"
+                 " [--decompose=K] [--xtree=0|1]\n"
+                 "  query <index.nncell> <queries.csv> [--k=N]\n"
+                 "  stats <index.nncell>\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "build") return Build(argc, argv);
+  if (cmd == "query") return Query(argc, argv);
+  if (cmd == "stats") return Stats(argc, argv);
+  std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  return 2;
+}
