@@ -1,0 +1,64 @@
+# Sanitizer and warning hardening for the whole tree.
+#
+# NNCELL_SANITIZE is a semicolon- or comma-separated list drawn from
+#   address | undefined | thread | leak
+# applied to every target (compile and link). address/undefined compose;
+# thread excludes address/leak (the toolchains reject the combination).
+#
+# NNCELL_WERROR promotes the always-on -Wall -Wextra to errors. CI builds
+# with it ON; it defaults OFF so exotic local compilers do not break the
+# build over a new warning.
+
+set(NNCELL_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: any of address;undefined;thread;leak")
+option(NNCELL_WERROR "Treat warnings as errors (-Werror)" OFF)
+
+function(nncell_apply_sanitizers)
+  if(NNCELL_SANITIZE STREQUAL "")
+    return()
+  endif()
+  string(REPLACE "," ";" _san_list "${NNCELL_SANITIZE}")
+
+  set(_flags "")
+  set(_has_thread FALSE)
+  set(_has_addr FALSE)
+  foreach(_san IN LISTS _san_list)
+    string(STRIP "${_san}" _san)
+    string(TOLOWER "${_san}" _san)
+    if(_san STREQUAL "address")
+      list(APPEND _flags -fsanitize=address)
+      set(_has_addr TRUE)
+    elseif(_san STREQUAL "undefined")
+      # float-divide-by-zero is not UB per the standard but is a bug in
+      # this codebase's numeric kernels, so opt in to the extra check.
+      list(APPEND _flags -fsanitize=undefined -fsanitize=float-divide-by-zero)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _flags -fsanitize=thread)
+      set(_has_thread TRUE)
+    elseif(_san STREQUAL "leak")
+      list(APPEND _flags -fsanitize=leak)
+    else()
+      message(FATAL_ERROR "Unknown sanitizer '${_san}' in NNCELL_SANITIZE")
+    endif()
+  endforeach()
+
+  if(_has_thread AND _has_addr)
+    message(FATAL_ERROR "thread and address sanitizers cannot be combined")
+  endif()
+
+  # Sane stacks in reports; abort on the first UB diagnostic instead of
+  # printing and continuing, so CI cannot go green past a finding.
+  list(APPEND _flags -fno-omit-frame-pointer -fno-sanitize-recover=all)
+
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+  message(STATUS "nncell: sanitizers enabled: ${NNCELL_SANITIZE}")
+endfunction()
+
+function(nncell_apply_warnings)
+  add_compile_options(-Wall -Wextra)
+  if(NNCELL_WERROR)
+    add_compile_options(-Werror)
+    message(STATUS "nncell: -Werror enabled")
+  endif()
+endfunction()

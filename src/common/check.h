@@ -1,0 +1,67 @@
+#ifndef NNCELL_COMMON_CHECK_H_
+#define NNCELL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-check macros. The library does not use exceptions; invariant
+// violations are programming errors and abort with a source location.
+//
+//   NNCELL_CHECK(cond)          always on, aborts when cond is false
+//   NNCELL_CHECK_MSG(cond, m)   same, with an extra message
+//   NNCELL_CHECK_OK(expr)       expr yields a Status-like object (has .ok()
+//                               and .ToString()); aborts when !ok()
+//   NNCELL_DCHECK*              debug-only twins, compiled out under NDEBUG
+//                               (the argument expression is NOT evaluated
+//                               in release builds -- keep it side-effect
+//                               free)
+//
+// The DCHECK family is where the expensive structural validators hang off:
+// release builds pay nothing, sanitizer/debug builds verify everything.
+
+#define NNCELL_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define NNCELL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, (msg));                                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Works for nncell::Status and anything else exposing ok() / ToString().
+#define NNCELL_CHECK_OK(expr)                                               \
+  do {                                                                      \
+    const auto& nncell_check_ok_status = (expr);                            \
+    if (!nncell_check_ok_status.ok()) {                                     \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, nncell_check_ok_status.ToString().c_str());    \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define NNCELL_DCHECK(cond) NNCELL_CHECK(cond)
+#define NNCELL_DCHECK_MSG(cond, msg) NNCELL_CHECK_MSG(cond, msg)
+#define NNCELL_DCHECK_OK(expr) NNCELL_CHECK_OK(expr)
+#else
+#define NNCELL_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#define NNCELL_DCHECK_MSG(cond, msg) \
+  do {                               \
+  } while (0)
+#define NNCELL_DCHECK_OK(expr) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // NNCELL_COMMON_CHECK_H_

@@ -5,7 +5,7 @@
 #include <limits>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace nncell {
 
@@ -44,6 +44,29 @@ bool HyperRect::IsEmpty() const {
     if (lo_[i] > hi_[i]) return true;
   }
   return lo_.empty();
+}
+
+std::string HyperRect::CheckWellFormed(bool allow_empty) const {
+  if (lo_.size() != hi_.size()) {
+    return "lo/hi dimension mismatch";
+  }
+  bool empty = false;
+  for (size_t i = 0; i < dim(); ++i) {
+    if (std::isnan(lo_[i]) || std::isnan(hi_[i])) {
+      return "NaN bound in dimension " + std::to_string(i);
+    }
+    if (lo_[i] > hi_[i]) empty = true;
+  }
+  if (empty) {
+    if (!allow_empty) return "inverted bounds (lo > hi)";
+    return "";  // the Empty() state is legal here
+  }
+  for (size_t i = 0; i < dim(); ++i) {
+    if (std::isinf(lo_[i]) || std::isinf(hi_[i])) {
+      return "non-finite bound in dimension " + std::to_string(i);
+    }
+  }
+  return "";
 }
 
 double HyperRect::Volume() const {

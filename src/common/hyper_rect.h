@@ -38,6 +38,15 @@ class HyperRect {
   // True when lo > hi in some dimension (the Empty() state).
   bool IsEmpty() const;
 
+  // Structural self-check used by the validators: lo/hi lengths match, no
+  // coordinate is NaN, no bound is inverted (lo > hi) unless `allow_empty`
+  // accepts the canonical Empty() state, and every bound is finite unless
+  // empty. A silently NaN/inverted rectangle is the failure mode Lemma 1
+  // cannot catch (it only tolerates *enlarged* MBRs), so the tree and cell
+  // validators reject these outright. Returns "" when well formed, else a
+  // description.
+  std::string CheckWellFormed(bool allow_empty = false) const;
+
   double Extent(size_t i) const { return hi_[i] - lo_[i]; }
   double Volume() const;
   // Sum of side lengths (the R*-tree "margin" surrogate for perimeter).

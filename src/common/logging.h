@@ -1,36 +1,8 @@
 #ifndef NNCELL_COMMON_LOGGING_H_
 #define NNCELL_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
-
-// Fatal-check macros. The library does not use exceptions; invariant
-// violations are programming errors and abort with a source location.
-
-#define NNCELL_CHECK(cond)                                                  \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
-    }                                                                       \
-  } while (0)
-
-#define NNCELL_CHECK_MSG(cond, msg)                                         \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
-                   __LINE__, #cond, (msg));                                 \
-      std::abort();                                                         \
-    }                                                                       \
-  } while (0)
-
-#ifndef NDEBUG
-#define NNCELL_DCHECK(cond) NNCELL_CHECK(cond)
-#else
-#define NNCELL_DCHECK(cond) \
-  do {                      \
-  } while (0)
-#endif
+// Historical name; the check macros moved to common/check.h. Include that
+// directly in new code.
+#include "common/check.h"
 
 #endif  // NNCELL_COMMON_LOGGING_H_

@@ -5,7 +5,7 @@
 #include <string>
 #include <utility>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace nncell {
 

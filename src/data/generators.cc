@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/distance.h"
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace nncell {

@@ -6,6 +6,7 @@
 
 #include "common/distance.h"
 #include "geom/bisector.h"
+#include "lp/audit.h"
 
 namespace nncell {
 
@@ -34,6 +35,11 @@ HyperRect CellApproximator::SolveMbr(const LpProblem& problem,
     c[i] = 1.0;
     LpResult up = solver_.Maximize(problem, c, start);
     LpResult dn = solver_.Minimize(problem, c, start);
+    // Debug builds re-verify every face value independently (feasibility +
+    // KKT); a wrong face only enlarges the MBR, which nothing downstream
+    // would ever notice (Lemma 1) until it causes a false dismissal.
+    NNCELL_DCHECK_OK(lp::AuditSolution(problem, c, up, lp::LpSense::kMaximize));
+    NNCELL_DCHECK_OK(lp::AuditSolution(problem, c, dn, lp::LpSense::kMinimize));
     c[i] = 0.0;
     if (stats) {
       stats->lp_runs += 2;

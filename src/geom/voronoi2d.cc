@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/distance.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace nncell {
 

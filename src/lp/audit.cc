@@ -1,0 +1,251 @@
+#include "lp/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/distance.h"
+#include "lp/linalg.h"
+
+namespace nncell::lp {
+
+namespace {
+
+// Least-squares solve over the passive set via normal equations. Returns
+// false when the Gram matrix is singular (dependent columns).
+bool SolvePassive(const std::vector<const double*>& columns, size_t d,
+                  const std::vector<double>& g,
+                  const std::vector<size_t>& passive, std::vector<double>* z) {
+  const size_t k = passive.size();
+  std::vector<double> gram(k * k), rhs(k);
+  for (size_t i = 0; i < k; ++i) {
+    rhs[i] = Dot(columns[passive[i]], g.data(), d);
+    for (size_t j = 0; j < k; ++j) {
+      gram[i * k + j] = Dot(columns[passive[i]], columns[passive[j]], d);
+    }
+  }
+  if (!SolveLinearSystem(gram, rhs, k)) return false;
+  *z = std::move(rhs);
+  return true;
+}
+
+}  // namespace
+
+double NonNegativeLeastSquares(const std::vector<const double*>& columns,
+                               size_t d, const std::vector<double>& g,
+                               std::vector<double>* lambda) {
+  const size_t k = columns.size();
+  lambda->assign(k, 0.0);
+
+  std::vector<bool> in_passive(k, false), banned(k, false);
+  std::vector<size_t> passive;
+  std::vector<double> residual = g;  // g - A lambda
+  const double eps = 1e-12 * std::max(1.0, std::sqrt(L2NormSq(g.data(), d)));
+
+  // Lawson-Hanson outer loop: grow the passive (strictly positive) set one
+  // most-improving column at a time.
+  const size_t max_outer = 3 * k + 16;
+  for (size_t outer = 0; outer < max_outer; ++outer) {
+    // Gradient of 0.5||A lambda - g||^2 is -A^T residual; pick the most
+    // negative component, i.e. the largest A^T residual among free columns.
+    size_t best = k;
+    double best_w = eps;
+    for (size_t j = 0; j < k; ++j) {
+      if (in_passive[j] || banned[j]) continue;
+      double w = Dot(columns[j], residual.data(), d);
+      if (w > best_w) {
+        best_w = w;
+        best = j;
+      }
+    }
+    if (best == k) break;  // KKT of the NNLS problem satisfied
+
+    in_passive[best] = true;
+    passive.push_back(best);
+
+    // Inner loop: least squares on the passive set; walk back towards the
+    // previous iterate while any passive coefficient would go negative.
+    std::vector<double> z;
+    while (true) {
+      if (!SolvePassive(columns, d, g, passive, &z)) {
+        // Dependent column: drop it for good and re-solve with the rest so
+        // z stays aligned with the passive set.
+        in_passive[best] = false;
+        banned[best] = true;
+        passive.pop_back();
+        if (passive.empty()) {
+          z.clear();
+          break;
+        }
+        continue;
+      }
+      bool all_positive = true;
+      for (double v : z) {
+        if (v <= 0.0) {
+          all_positive = false;
+          break;
+        }
+      }
+      if (all_positive) break;
+
+      double alpha = 1.0;
+      for (size_t i = 0; i < passive.size(); ++i) {
+        if (z[i] > 0.0) continue;
+        double cur = (*lambda)[passive[i]];
+        double denom = cur - z[i];
+        if (denom > 0.0) alpha = std::min(alpha, cur / denom);
+      }
+      for (size_t i = 0; i < passive.size(); ++i) {
+        size_t j = passive[i];
+        (*lambda)[j] += alpha * (z[i] - (*lambda)[j]);
+      }
+      // Retire every coefficient driven (numerically) to zero.
+      std::vector<size_t> kept;
+      for (size_t j : passive) {
+        if ((*lambda)[j] > eps) {
+          kept.push_back(j);
+        } else {
+          (*lambda)[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+      passive = std::move(kept);
+      if (passive.empty()) break;
+    }
+    NNCELL_DCHECK(passive.empty() || z.size() == passive.size());
+    for (size_t i = 0; i < passive.size(); ++i) (*lambda)[passive[i]] = z[i];
+
+    // Refresh the residual.
+    residual = g;
+    for (size_t j : passive) {
+      for (size_t i = 0; i < d; ++i) {
+        residual[i] -= (*lambda)[j] * columns[j][i];
+      }
+    }
+  }
+  return std::sqrt(L2NormSq(residual.data(), d));
+}
+
+Status AuditSolution(const LpProblem& problem, const std::vector<double>& c,
+                     const LpResult& result, LpSense sense,
+                     const AuditOptions& opts) {
+  const size_t d = problem.dim();
+  const size_t m = problem.num_constraints();
+  if (c.size() != d) {
+    return Status::InvalidArgument("objective dimension mismatch");
+  }
+
+  if (result.status == LpStatus::kIterationLimit) {
+    return Status::OK();  // no optimality claim to audit
+  }
+
+  if (result.x.size() != d) {
+    return Status::Internal("solution has wrong dimension");
+  }
+  for (double v : result.x) {
+    if (!std::isfinite(v)) {
+      return Status::Internal("solution contains a non-finite coordinate");
+    }
+  }
+
+  if (result.status == LpStatus::kInfeasibleStart) {
+    // The solver returned x0 unchanged; it must really violate something.
+    if (problem.MaxViolation(result.x.data()) <= 0.0) {
+      return Status::Internal(
+          "solver reported an infeasible start, but the point is feasible");
+    }
+    return Status::OK();
+  }
+
+  // Both remaining verdicts (optimal / unbounded) require a feasible point.
+  const double* x = result.x.data();
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = problem.row(i);
+    double scale = std::max(
+        {1.0, std::sqrt(L2NormSq(ai, d)), std::abs(problem.rhs(i))});
+    double violation = Dot(ai, x, d) - problem.rhs(i);
+    if (violation > opts.feasibility_tol * scale) {
+      std::ostringstream os;
+      os << "primal infeasible: constraint " << i << " violated by "
+         << violation;
+      return Status::Internal(os.str());
+    }
+  }
+
+  // The gradient the solver actually climbed.
+  std::vector<double> g(d);
+  for (size_t i = 0; i < d; ++i) {
+    g[i] = (sense == LpSense::kMaximize) ? c[i] : -c[i];
+  }
+  const double g_scale = std::max(1.0, std::sqrt(L2NormSq(g.data(), d)));
+
+  if (result.status == LpStatus::kUnbounded) {
+    // Certify with a recession direction: maximize g . p over the cone
+    // {a_i . p <= 0} intersected with the unit box. A positive optimum
+    // scales to an arbitrarily improving feasible ray.
+    LpProblem cone(d);
+    cone.Reserve(m + 2 * d);
+    std::vector<double> row(d, 0.0);
+    for (size_t i = 0; i < m; ++i) cone.AddConstraint(problem.row(i), 0.0);
+    for (size_t i = 0; i < d; ++i) {
+      row[i] = 1.0;
+      cone.AddConstraint(row, 1.0);
+      row[i] = -1.0;
+      cone.AddConstraint(row, 1.0);
+      row[i] = 0.0;
+    }
+    ActiveSetSolver solver;
+    LpResult ray = solver.Maximize(cone, g, std::vector<double>(d, 0.0));
+    if (ray.status != LpStatus::kOptimal ||
+        ray.objective <= opts.stationarity_tol * g_scale) {
+      return Status::Internal(
+          "solver reported unbounded, but no improving recession direction "
+          "exists");
+    }
+    return Status::OK();
+  }
+
+  // kOptimal from here on.
+  double cx = Dot(c.data(), x, d);
+  if (std::abs(cx - result.objective) >
+      opts.objective_tol * std::max(1.0, std::abs(cx))) {
+    std::ostringstream os;
+    os << "reported objective " << result.objective << " != c.x " << cx;
+    return Status::Internal(os.str());
+  }
+
+  // Active-set optimality: g must lie in the cone of the active rows'
+  // normals (KKT: g = sum lambda_i a_i with every lambda_i >= 0). The cone
+  // is invariant under positive scaling of its generators, so normalize
+  // each row to unit length -- bisectors of near-duplicate points have
+  // norms around machine epsilon and would otherwise make the NNLS Gram
+  // matrix vanish below its pivot tolerance.
+  std::vector<std::vector<double>> active_rows;
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = problem.row(i);
+    double norm = std::sqrt(L2NormSq(ai, d));
+    double scale = std::max({1.0, norm, std::abs(problem.rhs(i))});
+    double slack = problem.rhs(i) - Dot(ai, x, d);
+    if (slack <= opts.activity_tol * scale && norm > 0.0) {
+      std::vector<double> unit(d);
+      for (size_t j = 0; j < d; ++j) unit[j] = ai[j] / norm;
+      active_rows.push_back(std::move(unit));
+    }
+  }
+  std::vector<const double*> active;
+  active.reserve(active_rows.size());
+  for (const auto& r : active_rows) active.push_back(r.data());
+  std::vector<double> lambda;
+  double res_norm = NonNegativeLeastSquares(active, d, g, &lambda);
+  if (res_norm > opts.stationarity_tol * g_scale) {
+    std::ostringstream os;
+    os << "KKT stationarity violated: gradient is " << res_norm
+       << " away from the cone of " << active.size()
+       << " active constraint normals (an improving feasible direction "
+          "exists)";
+    return Status::Internal(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace nncell::lp

@@ -1,0 +1,66 @@
+#ifndef NNCELL_LP_AUDIT_H_
+#define NNCELL_LP_AUDIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "lp/active_set_solver.h"
+#include "lp/lp_problem.h"
+
+namespace nncell::lp {
+
+// Which direction the solver was asked to optimize. Both ActiveSetSolver
+// entry points report result.objective as c . x, so the audit only needs
+// the sense to orient the KKT conditions.
+enum class LpSense { kMaximize, kMinimize };
+
+struct AuditOptions {
+  // Allowed constraint violation of the solution point, scaled per row by
+  // max(1, ||a_i||, |b_i|).
+  double feasibility_tol = 1e-6;
+  // Slack threshold below which a constraint counts as active for the
+  // optimality certificate.
+  double activity_tol = 1e-6;
+  // Allowed residual ||g - sum lambda_i a_i|| of the stationarity
+  // condition, scaled by max(1, ||c||).
+  double stationarity_tol = 1e-5;
+  // Allowed |c . x - reported objective|, scaled by max(1, |c . x|).
+  double objective_tol = 1e-7;
+};
+
+// Independent post-solve audit of an LP result -- the defense against the
+// failure mode Lemma 1 cannot catch: a silently wrong face value only
+// *enlarges* a cell MBR, so queries stay fast-looking while risking false
+// dismissals. For kOptimal results this re-verifies, from scratch:
+//
+//   1. primal feasibility of x (every a_i . x <= b_i up to tolerance),
+//   2. the reported objective equals c . x,
+//   3. active-set optimality: the (sense-oriented) gradient lies in the
+//      cone of active constraint normals, i.e. there exist KKT multipliers
+//      lambda >= 0 with sum lambda_i a_i ~= g. The multipliers come from a
+//      Lawson-Hanson non-negative least squares solve -- a different
+//      algorithm from the active-set walk being audited, so the two do not
+//      share failure modes.
+//
+// kUnbounded results are checked for a genuine recession direction
+// (feasible improving ray); kInfeasibleStart results must actually start
+// infeasible. kIterationLimit is the solver declaring failure -- there is
+// no claim to audit, so it passes vacuously (callers already treat it as
+// a conservative fallback).
+Status AuditSolution(const LpProblem& problem, const std::vector<double>& c,
+                     const LpResult& result,
+                     LpSense sense = LpSense::kMaximize,
+                     const AuditOptions& opts = AuditOptions());
+
+// Non-negative least squares min ||A lambda - g||_2 s.t. lambda >= 0 by
+// Lawson-Hanson active-set NNLS. `columns` holds k pointers to d-vectors
+// (the columns of A). Returns the residual norm; fills `lambda` (size k,
+// all >= 0). Exposed for tests.
+double NonNegativeLeastSquares(const std::vector<const double*>& columns,
+                               size_t d, const std::vector<double>& g,
+                               std::vector<double>* lambda);
+
+}  // namespace nncell::lp
+
+#endif  // NNCELL_LP_AUDIT_H_

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/hyper_rect.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace nncell {
 

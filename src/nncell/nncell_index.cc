@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "common/distance.h"
 #include "common/rng.h"
@@ -570,6 +571,16 @@ Status NNCellIndex::CheckInvariants(size_t sample_queries,
   tree_err = point_tree_->Validate();
   if (!tree_err.empty()) return Status::Internal("point tree: " + tree_err);
 
+  // Quiescent buffer pools: no leaked pins, consistent frame accounting.
+  Status pool_st = tree_->pool()->AuditPins();
+  if (!pool_st.ok()) {
+    return Status::Internal("cell pool: " + pool_st.message());
+  }
+  pool_st = point_pool_->AuditPins();
+  if (!pool_st.ok()) {
+    return Status::Internal("point pool: " + pool_st.message());
+  }
+
   // Bookkeeping consistency.
   size_t live = 0, entries = 0;
   for (uint64_t id = 0; id < points_.size(); ++id) {
@@ -600,6 +611,52 @@ Status NNCellIndex::CheckInvariants(size_t sample_queries,
   }
   if (live != point_tree_->size()) {
     return Status::Internal("point tree size mismatch");
+  }
+
+  // The indexed entries must be exactly the bookkept approximations: same
+  // ids, same rectangles, same multiplicities. Approximations are clipped
+  // to the data space, so a range query over a slightly padded space box
+  // reaches every entry.
+  {
+    HyperRect everything = space_;
+    for (size_t i = 0; i < dim_; ++i) {
+      everything.lo(i) -= 1.0;
+      everything.hi(i) += 1.0;
+    }
+    auto matches = tree_->RangeQuery(everything);
+    if (matches.size() != entries) {
+      return Status::Internal("indexed entry count differs from bookkeeping");
+    }
+    std::map<uint64_t, std::vector<HyperRect>> indexed;
+    for (auto& m : matches) {
+      if (m.id >= cell_rects_.size() || !alive_[m.id]) {
+        return Status::Internal("indexed entry owned by a dead/unknown point");
+      }
+      indexed[m.id].push_back(std::move(m.rect));
+    }
+    auto rect_less = [](const HyperRect& a, const HyperRect& b) {
+      if (a.lo() != b.lo()) return a.lo() < b.lo();
+      return a.hi() < b.hi();
+    };
+    for (uint64_t id = 0; id < cell_rects_.size(); ++id) {
+      if (!alive_[id]) continue;
+      auto it = indexed.find(id);
+      if (it == indexed.end() ||
+          it->second.size() != cell_rects_[id].size()) {
+        return Status::Internal(
+            "indexed rectangles of a point differ from bookkeeping");
+      }
+      std::vector<HyperRect> expect = cell_rects_[id];
+      std::sort(expect.begin(), expect.end(), rect_less);
+      std::sort(it->second.begin(), it->second.end(), rect_less);
+      for (size_t r = 0; r < expect.size(); ++r) {
+        if (!(expect[r] == it->second[r])) {
+          return Status::Internal(
+              "indexed rectangle bytes differ from the bookkept "
+              "approximation");
+        }
+      }
+    }
   }
 
   // Sampled end-to-end exactness against a brute-force scan.

@@ -86,9 +86,12 @@ class NodeStore {
   // visit(EntryView, is_leaf) for every entry and returns whether the node
   // is a leaf. Reuses an internal scratch buffer, so the callback must
   // finish before the next VisitNode call (queries therefore collect child
-  // page ids first and descend afterwards).
+  // page ids first and descend afterwards). The node's first page is
+  // pinned for the duration of the scan, so a callback that touches the
+  // buffer pool cannot evict the frame the EntryView pointers reference.
   template <typename Fn>
   bool VisitNode(PageId id, Fn&& visit) const {
+    PageGuard guard(pool_, id);
     const uint8_t* stream = AssembleNode(id);
     const bool is_leaf = stream[0] != 0;
     uint16_t num_entries;

@@ -566,15 +566,71 @@ RTreeCore::TreeInfo RTreeCore::Info() const {
   return info;
 }
 
+std::string RTreeCore::ValidateNode(const Node& node, PageId pid,
+                                    bool /*is_root*/) const {
+  // The base engine splits every overflow, so nodes span exactly one page.
+  if (node.page_span() != 1) {
+    std::ostringstream err;
+    err << "node " << pid << ": unexpected supernode (spans "
+        << node.page_span() << " pages) in a plain R*-tree";
+    return err.str();
+  }
+  return "";
+}
+
 std::string RTreeCore::ValidateRec(PageId pid, size_t level,
                                    const HyperRect* expected,
-                                   size_t* entry_count) const {
+                                   size_t* entry_count,
+                                   std::unordered_set<PageId>* reachable) const {
   Node node = store_.Read(pid);
   std::ostringstream err;
+  if (!reachable->insert(pid).second) {
+    err << "page " << pid << ": referenced by more than one parent";
+    return err.str();
+  }
+  for (PageId extra : node.extra_pages) {
+    if (extra == kInvalidPageId) {
+      err << "node " << pid << ": invalid overflow page id";
+      return err.str();
+    }
+    if (!reachable->insert(extra).second) {
+      err << "overflow page " << extra << " of node " << pid
+          << ": referenced more than once";
+      return err.str();
+    }
+  }
   if (node.is_leaf != (level == 0)) {
     err << "node " << pid << ": leaf flag inconsistent with level " << level;
     return err.str();
   }
+  // The store grows/shrinks a node's page chain to exactly fit its entry
+  // count on every Write; a mismatch means a stale or corrupt header.
+  if (node.page_span() != store_.PagesNeeded(node.is_leaf,
+                                             node.entries.size())) {
+    err << "node " << pid << ": spans " << node.page_span()
+        << " pages but its " << node.entries.size() << " entries need "
+        << store_.PagesNeeded(node.is_leaf, node.entries.size());
+    return err.str();
+  }
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const Entry& e = node.entries[i];
+    if (e.rect.dim() != options_.dim) {
+      err << "node " << pid << " entry " << i << ": dimension "
+          << e.rect.dim() << " != " << options_.dim;
+      return err.str();
+    }
+    std::string rect_err = e.rect.CheckWellFormed();
+    if (!rect_err.empty()) {
+      err << "node " << pid << " entry " << i << ": " << rect_err;
+      return err.str();
+    }
+    if (!node.is_leaf && e.aux.size() != 0) {
+      err << "node " << pid << " entry " << i << ": internal entry with aux";
+      return err.str();
+    }
+  }
+  std::string node_err = ValidateNode(node, pid, expected == nullptr);
+  if (!node_err.empty()) return node_err;
   if (expected != nullptr) {
     HyperRect mbr = node.ComputeMbr(options_.dim);
     for (size_t i = 0; i < options_.dim; ++i) {
@@ -600,7 +656,7 @@ std::string RTreeCore::ValidateRec(PageId pid, size_t level,
   }
   for (const Entry& e : node.entries) {
     std::string child_err = ValidateRec(static_cast<PageId>(e.id), level - 1,
-                                        &e.rect, entry_count);
+                                        &e.rect, entry_count, reachable);
     if (!child_err.empty()) return child_err;
   }
   return "";
@@ -608,11 +664,41 @@ std::string RTreeCore::ValidateRec(PageId pid, size_t level,
 
 std::string RTreeCore::Validate() const {
   size_t entry_count = 0;
-  std::string err = ValidateRec(root_, height_ - 1, nullptr, &entry_count);
+  std::unordered_set<PageId> reachable;
+  std::string err =
+      ValidateRec(root_, height_ - 1, nullptr, &entry_count, &reachable);
   if (!err.empty()) return err;
   if (entry_count != size_) {
     std::ostringstream os;
     os << "entry count " << entry_count << " != size " << size_;
+    return os.str();
+  }
+
+  // Page accounting: the tree owns its PageFile, so every allocated page
+  // is either part of exactly one node or on the free list. Anything else
+  // is an orphan (leak) or a double-free.
+  const PageFile& file = *pool_->file();
+  std::unordered_set<PageId> free_pages(file.free_pages().begin(),
+                                        file.free_pages().end());
+  if (free_pages.size() != file.num_free_pages()) {
+    return "free list contains a page twice (double free)";
+  }
+  for (PageId pid : reachable) {
+    if (static_cast<size_t>(pid) >= file.num_pages()) {
+      std::ostringstream os;
+      os << "node references page " << pid << " past the end of the file";
+      return os.str();
+    }
+    if (free_pages.count(pid) != 0) {
+      std::ostringstream os;
+      os << "page " << pid << " is both reachable and on the free list";
+      return os.str();
+    }
+  }
+  if (reachable.size() + free_pages.size() != file.num_pages()) {
+    std::ostringstream os;
+    os << "orphan pages: " << file.num_pages() << " allocated, "
+       << reachable.size() << " reachable + " << free_pages.size() << " free";
     return os.str();
   }
   return "";

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -117,8 +118,16 @@ class RTreeCore {
     size_ = static_cast<size_t>(state.size);
   }
 
-  // Deep structural validation for tests: MBR consistency, uniform leaf
-  // depth, minimum fill, entry count. Returns an error description or "".
+  // Deep structural validation: MBR consistency (parent rectangles are the
+  // tight union of their children -- Lemma 1 would silently absorb an
+  // enlarged one, so equality is enforced), uniform leaf depth, minimum
+  // fill, entry count, well-formed rectangles (no NaN / inverted bounds),
+  // page-span bookkeeping, double-reference and double-free detection, and
+  // page reachability: every allocated page of the underlying file is
+  // either part of exactly one node or on the free list (no orphans).
+  // Subclasses add their own node invariants via ValidateNode. Returns an
+  // error description or "". Prefer the rstar::ValidateTree wrapper in
+  // validate.h for new call sites.
   std::string Validate() const;
 
  protected:
@@ -135,6 +144,12 @@ class RTreeCore {
     return is_leaf ? min_fill_leaf_ : min_fill_internal_;
   }
   const NodeStore& store() const { return store_; }
+
+  // Structure-specific node invariants checked by Validate (e.g. the
+  // X-tree's supernode rules). The base engine only ever produces
+  // single-page nodes. Returns "" or an error description.
+  virtual std::string ValidateNode(const Node& node, PageId pid,
+                                   bool is_root) const;
 
  private:
   struct PathStep {
@@ -173,7 +188,8 @@ class RTreeCore {
 
   void InfoRec(PageId pid, size_t level, TreeInfo* info) const;
   std::string ValidateRec(PageId pid, size_t level, const HyperRect* expected,
-                          size_t* entry_count) const;
+                          size_t* entry_count,
+                          std::unordered_set<PageId>* reachable) const;
 
   BufferPool* pool_;
   TreeOptions options_;

@@ -1,0 +1,11 @@
+#include "rstar/validate.h"
+
+namespace nncell::rstar {
+
+Status ValidateTree(const RTreeCore& tree) {
+  std::string err = tree.Validate();
+  if (!err.empty()) return Status::Internal("tree invariant violated: " + err);
+  return Status::OK();
+}
+
+}  // namespace nncell::rstar

@@ -1,0 +1,21 @@
+#ifndef NNCELL_RSTAR_VALIDATE_H_
+#define NNCELL_RSTAR_VALIDATE_H_
+
+#include "common/status.h"
+#include "rstar/rtree_core.h"
+
+namespace nncell::rstar {
+
+// Canonical entry point for deep structural tree validation; see
+// RTreeCore::Validate for the full list of invariants (MBR containment and
+// tightness, entry counts, level consistency, well-formed rectangles, page
+// reachability / no orphan pages, and the structure-specific node rules
+// such as X-tree supernode budgets). Intended for tests and for
+// NNCELL_DCHECK_OK at structural mutation boundaries:
+//
+//   NNCELL_DCHECK_OK(rstar::ValidateTree(tree));
+Status ValidateTree(const RTreeCore& tree);
+
+}  // namespace nncell::rstar
+
+#endif  // NNCELL_RSTAR_VALIDATE_H_

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
 #include <cstring>
+#include <sstream>
+#include <unordered_set>
 
 namespace nncell {
 
@@ -32,7 +34,8 @@ BufferPool::Frame& BufferPool::GetFrame(PageId id, bool load_from_disk) {
 
   Frame& f = frames_[idx];
   f.id = id;
-  f.dirty = false;
+  NNCELL_DCHECK(!f.dirty);
+  NNCELL_DCHECK(f.pins == 0);
   if (load_from_disk) {
     ++stats_.physical_reads;
     file_->Read(id, f.bytes.data());
@@ -52,17 +55,23 @@ void BufferPool::Touch(size_t frame_idx) {
 }
 
 size_t BufferPool::EvictOne() {
-  NNCELL_CHECK(!lru_.empty());
-  size_t idx = lru_.back();
-  lru_.pop_back();
-  Frame& f = frames_[idx];
-  if (f.dirty) {
-    ++stats_.writebacks;
-    file_->Write(f.id, f.bytes.data());
+  // Oldest unpinned frame; pinned frames are not eviction candidates.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t idx = *it;
+    Frame& f = frames_[idx];
+    if (f.pins > 0) continue;
+    lru_.erase(std::next(it).base());
+    if (f.dirty) {
+      ++stats_.writebacks;
+      file_->Write(f.id, f.bytes.data());
+      ClearDirty(f);
+    }
+    map_.erase(f.id);
+    f.id = kInvalidPageId;
+    return idx;
   }
-  map_.erase(f.id);
-  f.id = kInvalidPageId;
-  return idx;
+  NNCELL_CHECK_MSG(false, "buffer pool exhausted: every frame is pinned");
+  return 0;  // unreachable
 }
 
 const uint8_t* BufferPool::Fetch(PageId id) {
@@ -73,14 +82,14 @@ const uint8_t* BufferPool::Fetch(PageId id) {
 uint8_t* BufferPool::FetchMutable(PageId id) {
   ++stats_.logical_reads;
   Frame& f = GetFrame(id, /*load_from_disk=*/true);
-  f.dirty = true;
+  MarkDirty(f);
   return f.bytes.data();
 }
 
 PageId BufferPool::AllocatePage() {
   PageId id = file_->Allocate();
   Frame& f = GetFrame(id, /*load_from_disk=*/false);
-  f.dirty = true;
+  MarkDirty(f);
   return id;
 }
 
@@ -88,7 +97,7 @@ PageId BufferPool::AllocateRun(size_t count) {
   PageId first = file_->AllocateRun(count);
   for (size_t i = 0; i < count; ++i) {
     Frame& f = GetFrame(first + static_cast<PageId>(i), false);
-    f.dirty = true;
+    MarkDirty(f);
   }
   return first;
 }
@@ -97,13 +106,32 @@ void BufferPool::FreePage(PageId id) {
   auto it = map_.find(id);
   if (it != map_.end()) {
     size_t idx = it->second;
+    NNCELL_CHECK_MSG(frames_[idx].pins == 0, "freeing a pinned page");
     lru_.erase(frames_[idx].lru_it);
     map_.erase(it);
     frames_[idx].id = kInvalidPageId;
-    frames_[idx].dirty = false;
+    ClearDirty(frames_[idx]);
     free_frames_.push_back(idx);
   }
   file_->Free(id);
+}
+
+void BufferPool::Pin(PageId id) {
+  Frame& f = GetFrame(id, /*load_from_disk=*/true);
+  if (f.pins == 0) ++pinned_frames_;
+  ++f.pins;
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = map_.find(id);
+  NNCELL_CHECK_MSG(it != map_.end(), "unpinning a non-resident page");
+  Frame& f = frames_[it->second];
+  NNCELL_CHECK_MSG(f.pins > 0, "double unpin");
+  --f.pins;
+  if (f.pins == 0) {
+    NNCELL_CHECK(pinned_frames_ > 0);
+    --pinned_frames_;
+  }
 }
 
 void BufferPool::Flush() {
@@ -111,15 +139,16 @@ void BufferPool::Flush() {
     if (f.id != kInvalidPageId && f.dirty) {
       ++stats_.writebacks;
       file_->Write(f.id, f.bytes.data());
-      f.dirty = false;
+      ClearDirty(f);
     }
   }
 }
 
 void BufferPool::Invalidate() {
+  NNCELL_CHECK_MSG(pinned_frames_ == 0, "Invalidate with pinned pages");
   for (Frame& f : frames_) {
     f.id = kInvalidPageId;
-    f.dirty = false;
+    ClearDirty(f);
   }
   lru_.clear();
   map_.clear();
@@ -128,12 +157,108 @@ void BufferPool::Invalidate() {
 }
 
 void BufferPool::DropCache() {
+  NNCELL_CHECK_MSG(pinned_frames_ == 0, "DropCache with pinned pages");
   Flush();
   for (Frame& f : frames_) f.id = kInvalidPageId;
   lru_.clear();
   map_.clear();
   free_frames_.clear();
   for (size_t i = 0; i < frames_.size(); ++i) free_frames_.push_back(i);
+}
+
+Status BufferPool::AuditPins(bool expect_unpinned) const {
+  std::ostringstream err;
+
+  // 1. The map and the frame table agree.
+  for (const auto& [id, idx] : map_) {
+    if (idx >= frames_.size()) {
+      err << "map entry for page " << id << " points past the frame table";
+      return Status::Internal(err.str());
+    }
+    if (frames_[idx].id != id) {
+      err << "map says frame " << idx << " holds page " << id
+          << " but the frame says " << frames_[idx].id;
+      return Status::Internal(err.str());
+    }
+  }
+
+  // 2. LRU list: no duplicates, every element resident and mapped.
+  std::unordered_set<size_t> in_lru;
+  for (size_t idx : lru_) {
+    if (idx >= frames_.size()) {
+      return Status::Internal("LRU references a frame past the table");
+    }
+    if (!in_lru.insert(idx).second) {
+      err << "frame " << idx << " appears twice in the LRU list";
+      return Status::Internal(err.str());
+    }
+    const Frame& f = frames_[idx];
+    if (f.id == kInvalidPageId) {
+      err << "LRU frame " << idx << " holds no page";
+      return Status::Internal(err.str());
+    }
+    auto it = map_.find(f.id);
+    if (it == map_.end() || it->second != idx) {
+      err << "LRU frame " << idx << " (page " << f.id << ") not in the map";
+      return Status::Internal(err.str());
+    }
+  }
+  if (in_lru.size() != map_.size()) {
+    err << "LRU size " << in_lru.size() << " != map size " << map_.size();
+    return Status::Internal(err.str());
+  }
+
+  // 3. Free frames: empty, clean, unpinned, and disjoint from the LRU.
+  std::unordered_set<size_t> in_free;
+  for (size_t idx : free_frames_) {
+    if (idx >= frames_.size()) {
+      return Status::Internal("free list references a frame past the table");
+    }
+    if (!in_free.insert(idx).second) {
+      err << "frame " << idx << " appears twice in the free list";
+      return Status::Internal(err.str());
+    }
+    const Frame& f = frames_[idx];
+    if (f.id != kInvalidPageId || f.dirty || f.pins != 0) {
+      err << "free frame " << idx << " is not empty/clean/unpinned";
+      return Status::Internal(err.str());
+    }
+    if (in_lru.count(idx) != 0) {
+      err << "frame " << idx << " is both free and in the LRU";
+      return Status::Internal(err.str());
+    }
+  }
+  if (in_lru.size() + in_free.size() != frames_.size()) {
+    err << "frames " << frames_.size() << " != LRU " << in_lru.size()
+        << " + free " << in_free.size() << " (orphaned frame)";
+    return Status::Internal(err.str());
+  }
+
+  // 4. Incremental counters match a recount.
+  size_t pinned = 0, dirty = 0;
+  for (const Frame& f : frames_) {
+    if (f.pins > 0) ++pinned;
+    if (f.dirty) ++dirty;
+  }
+  if (pinned != pinned_frames_) {
+    err << "pinned-frame counter " << pinned_frames_ << " != recount "
+        << pinned;
+    return Status::Internal(err.str());
+  }
+  if (dirty != dirty_frames_) {
+    err << "dirty-frame counter " << dirty_frames_ << " != recount " << dirty;
+    return Status::Internal(err.str());
+  }
+
+  // 5. Pin leaks: at a quiescent point every Pin must have been Unpinned.
+  if (expect_unpinned && pinned != 0) {
+    err << pinned << " frame(s) still pinned at a quiescent point:";
+    for (const Frame& f : frames_) {
+      if (f.pins > 0) err << " page " << f.id << " (x" << f.pins << ")";
+    }
+    return Status::Internal(err.str());
+  }
+  return Status::OK();
 }
 
 }  // namespace nncell

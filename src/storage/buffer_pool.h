@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/page_file.h"
 
 namespace nncell {
@@ -20,8 +21,18 @@ struct BufferStats {
 
 // LRU page cache over a PageFile. Single-threaded by design (the paper's
 // experiments are sequential); pointers returned by Fetch are valid until
-// the next pool call. This is "the same amount of cache" every index
-// structure is allowed in the paper's evaluation.
+// the next pool call, unless the page is pinned. This is "the same amount
+// of cache" every index structure is allowed in the paper's evaluation.
+//
+// Pinning: Pin(id) keeps the page resident (its frame is never evicted and
+// its bytes never move) until the matching Unpin(id). Pins nest. The node
+// store pins a node's first page while scanning it so the zero-copy
+// EntryView cursors stay valid even if a callback touches the pool, and
+// future concurrent readers will rely on the same discipline. Unpinning a
+// page that is not pinned, or freeing/dropping a pinned page, is a
+// programming error and aborts. AuditPins() is the quiescent-point
+// validator: it cross-checks the frame table, LRU list, free list, pin
+// counts and dirty accounting.
 class BufferPool {
  public:
   BufferPool(PageFile* file, size_t capacity_pages);
@@ -42,19 +53,43 @@ class BufferPool {
   PageId AllocatePage();
   PageId AllocateRun(size_t count);
 
-  // Frees a page; drops its frame without write-back.
+  // Frees a page; drops its frame without write-back. The page must not be
+  // pinned.
   void FreePage(PageId id);
+
+  // Keeps the page resident (loading it if necessary) until Unpin. Pins
+  // nest; every Pin needs a matching Unpin.
+  void Pin(PageId id);
+
+  // Releases one pin. Aborts when the page is not resident or not pinned
+  // (double-unpin detection).
+  void Unpin(PageId id);
+
+  // Number of currently pinned frames (not pin nesting depth).
+  size_t pinned_frames() const { return pinned_frames_; }
+  // Number of dirty frames, maintained incrementally (audited against a
+  // recount by AuditPins).
+  size_t dirty_frames() const { return dirty_frames_; }
 
   // Writes all dirty frames back.
   void Flush();
 
   // Flush + drop every frame: simulates a cold cache (used before queries
   // so that page-access counts match the paper's cold measurements).
+  // Requires that no page is pinned.
   void DropCache();
 
   // Drops every frame WITHOUT write-back. Only for invalidating the cache
   // after the underlying PageFile was replaced wholesale (persistence).
+  // Requires that no page is pinned.
   void Invalidate();
+
+  // Quiescent-point self-check. Verifies that the frame map, LRU list and
+  // free-frame list exactly partition the frame table, that the
+  // incremental pin/dirty counters match a recount, and (when
+  // `expect_unpinned`, the default) that every pin has been released --
+  // i.e. no pin leaks. Returns OK or a description of the first violation.
+  Status AuditPins(bool expect_unpinned = true) const;
 
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
@@ -64,12 +99,26 @@ class BufferPool {
     std::vector<uint8_t> bytes;
     PageId id = kInvalidPageId;
     bool dirty = false;
+    uint32_t pins = 0;
     std::list<size_t>::iterator lru_it;
   };
 
   Frame& GetFrame(PageId id, bool load_from_disk);
   void Touch(size_t frame_idx);
   size_t EvictOne();
+  void MarkDirty(Frame& f) {
+    if (!f.dirty) {
+      f.dirty = true;
+      ++dirty_frames_;
+    }
+  }
+  void ClearDirty(Frame& f) {
+    if (f.dirty) {
+      f.dirty = false;
+      NNCELL_CHECK(dirty_frames_ > 0);
+      --dirty_frames_;
+    }
+  }
 
   PageFile* file_;
   size_t capacity_;
@@ -77,7 +126,46 @@ class BufferPool {
   std::list<size_t> lru_;  // front = most recent
   std::unordered_map<PageId, size_t> map_;
   std::vector<size_t> free_frames_;
+  size_t pinned_frames_ = 0;
+  size_t dirty_frames_ = 0;
   BufferStats stats_;
+};
+
+// RAII pin: pins `id` on construction, unpins on destruction. Move-only.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id) : pool_(pool), id_(id) {
+    pool_->Pin(id_);
+  }
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept
+      : pool_(other.pool_), id_(other.id_) {
+    other.pool_ = nullptr;
+  }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      id_ = other.id_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  void Release() {
+    if (pool_ != nullptr) {
+      pool_->Unpin(id_);
+      pool_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
 };
 
 }  // namespace nncell

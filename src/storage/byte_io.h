@@ -5,7 +5,7 @@
 #include <cstring>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace nncell {
 

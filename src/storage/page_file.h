@@ -6,7 +6,7 @@
 #include <iosfwd>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/status.h"
 
 namespace nncell {
@@ -37,6 +37,13 @@ class PageFile {
 
   // Returns a page to the free list.
   void Free(PageId id);
+
+  // Free-list introspection for the structural validators: the number of
+  // freed (reallocatable) pages, and the freed ids themselves. A correct
+  // client structure owning this file reaches exactly the pages that are
+  // allocated and not on the free list -- anything else is an orphan.
+  size_t num_free_pages() const { return free_list_.size(); }
+  const std::vector<PageId>& free_pages() const { return free_list_; }
 
   void Read(PageId id, uint8_t* out);
   void Write(PageId id, const uint8_t* data);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "rstar/split.h"
 
 namespace nncell {

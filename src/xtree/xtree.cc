@@ -1,5 +1,7 @@
 #include "xtree/xtree.h"
 
+#include <sstream>
+
 #include "rstar/split.h"
 #include "xtree/xsplit.h"
 
@@ -51,6 +53,28 @@ XTree::SplitNode(const Node& node) {
   // Budget exhausted: fall back to the least bad split available.
   if (minimal.has_value()) return minimal;
   return topo;
+}
+
+std::string XTree::ValidateNode(const Node& node, PageId pid,
+                                bool /*is_root*/) const {
+  std::ostringstream err;
+  if (node.is_leaf && node.page_span() != 1) {
+    err << "node " << pid << ": data node became a supernode (spans "
+        << node.page_span() << " pages)";
+    return err.str();
+  }
+  if (node.page_span() > options().max_supernode_pages) {
+    err << "node " << pid << ": supernode spans " << node.page_span()
+        << " pages, budget is " << options().max_supernode_pages;
+    return err.str();
+  }
+  if (node.page_span() > 1 &&
+      node.entries.size() <= store().Capacity(node.is_leaf, 1)) {
+    err << "node " << pid << ": supernode holds only " << node.entries.size()
+        << " entries, which fit a single page";
+    return err.str();
+  }
+  return "";
 }
 
 }  // namespace nncell

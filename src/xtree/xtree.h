@@ -28,6 +28,13 @@ class XTree : public RTreeCore {
   std::optional<std::pair<std::vector<Entry>, std::vector<Entry>>> SplitNode(
       const Node& node) override;
 
+  // Supernode invariants (checked by Validate): data nodes never become
+  // supernodes, directory supernodes respect the configured page budget,
+  // and a multi-page node genuinely needs its span (a supernode that fits
+  // one page should have been shrunk on its last Write).
+  std::string ValidateNode(const Node& node, PageId pid,
+                           bool is_root) const override;
+
  private:
   size_t supernode_events_ = 0;
 };

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "lp/active_set_solver.h"
+#include "lp/audit.h"
 #include "lp/linalg.h"
 #include "lp/lp_problem.h"
 
@@ -126,6 +127,7 @@ TEST(ActiveSetSolverTest, TriangleVertex) {
   ASSERT_EQ(r.status, LpStatus::kOptimal);
   EXPECT_NEAR(r.x[0], 1.0, 1e-9);
   EXPECT_NEAR(r.x[1], 0.0, 1e-9);
+  EXPECT_TRUE(lp::AuditSolution(p, {1.0, 0.0}, r).ok());
 }
 
 TEST(ActiveSetSolverTest, StartOnBoundary) {
@@ -161,6 +163,8 @@ TEST(ActiveSetSolverTest, UnboundedDetected) {
   ActiveSetSolver solver;
   LpResult r = solver.Maximize(p, {1.0, 0.0}, {1.0, 0.0});
   EXPECT_EQ(r.status, LpStatus::kUnbounded);
+  // The audit independently certifies a feasible improving ray.
+  EXPECT_TRUE(lp::AuditSolution(p, {1.0, 0.0}, r).ok());
 }
 
 TEST(ActiveSetSolverTest, InfeasibleStartDetected) {
@@ -169,6 +173,8 @@ TEST(ActiveSetSolverTest, InfeasibleStartDetected) {
   ActiveSetSolver solver;
   LpResult r = solver.Maximize(p, {1.0, 0.0}, {5.0, 5.0});
   EXPECT_EQ(r.status, LpStatus::kInfeasibleStart);
+  // The audit confirms the start really violates a constraint.
+  EXPECT_TRUE(lp::AuditSolution(p, {1.0, 0.0}, r).ok());
 }
 
 TEST(ActiveSetSolverTest, ZeroObjective) {
@@ -195,6 +201,7 @@ TEST(ActiveSetSolverTest, GeneralDirectionObjective) {
   EXPECT_NEAR(r.objective, 11.0, 1e-9);
   EXPECT_NEAR(r.x[0], 3.0, 1e-9);
   EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_TRUE(lp::AuditSolution(p, {3.0, 2.0}, r).ok());
 }
 
 // Property: on random polytopes (random half-spaces through a ball around
@@ -224,6 +231,8 @@ TEST(ActiveSetSolverTest, RandomPolytopesOptimumDominatesSamples) {
     LpResult r = solver.Maximize(p, c, center);
     ASSERT_EQ(r.status, LpStatus::kOptimal) << "trial " << trial;
     EXPECT_LE(p.MaxViolation(r.x.data()), 1e-7);
+    Status audit = lp::AuditSolution(p, c, r);
+    EXPECT_TRUE(audit.ok()) << "trial " << trial << ": " << audit.message();
 
     for (int s = 0; s < 200; ++s) {
       std::vector<double> x(d);

@@ -3,6 +3,8 @@
 // workloads, and NN-cell correctness under adversarial point layouts.
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -13,8 +15,13 @@
 #include "data/generators.h"
 #include "geom/bisector.h"
 #include "geom/cell_approximator.h"
+#include "lp/active_set_solver.h"
+#include "lp/audit.h"
+#include "lp/linalg.h"
+#include "lp/lp_problem.h"
 #include "nncell/nncell_index.h"
 #include "rstar/rstar_tree.h"
+#include "rstar/validate.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "xtree/xtree.h"
@@ -99,6 +106,8 @@ void MixedWorkloadInvariants(uint64_t seed) {
     }
   }
   ASSERT_EQ(tree.Validate(), "");
+  ASSERT_TRUE(rstar::ValidateTree(tree).ok());
+  ASSERT_TRUE(pool.AuditPins().ok());
 
   // Final: every live point findable, sampled NN queries exact.
   for (size_t i = 0; i < live.size(); i += 13) {
@@ -206,6 +215,169 @@ TEST(AdversarialLayoutTest, PointsOnSpaceBoundary) {
     }
     EXPECT_NEAR(r->dist, best, 1e-9);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized LP-solver audit suite. Every solve of a random bisector system
+// is (a) independently verified by lp::AuditSolution (feasibility + KKT via
+// NNLS) and (b) in d <= 3, cross-checked against a brute-force vertex
+// enumerator: a bounded LP attains its optimum at a vertex, and with few
+// constraints every d-subset can be intersected exhaustively.
+
+// Maximum of c . x over all feasible vertices of the (bounded) problem,
+// found by solving every d-subset of constraint rows. Returns -inf when no
+// feasible vertex exists.
+double BruteForceVertexOptimum(const LpProblem& problem,
+                               const std::vector<double>& c) {
+  const size_t d = problem.dim();
+  const size_t m = problem.num_constraints();
+  double best = -std::numeric_limits<double>::infinity();
+
+  std::vector<size_t> subset(d, 0);
+  // Odometer over strictly increasing index d-tuples.
+  for (size_t i = 0; i < d; ++i) subset[i] = i;
+  if (m < d) return best;
+  while (true) {
+    std::vector<double> mat(d * d), rhs(d);
+    for (size_t i = 0; i < d; ++i) {
+      const double* row = problem.row(subset[i]);
+      std::copy(row, row + d, mat.begin() + i * d);
+      rhs[i] = problem.rhs(subset[i]);
+    }
+    if (SolveLinearSystem(mat, rhs, d)) {
+      // rhs now holds the intersection point of the d hyperplanes.
+      if (problem.MaxViolation(rhs.data()) <= 1e-8) {
+        best = std::max(best, Dot(c.data(), rhs.data(), d));
+      }
+    }
+    // Advance the odometer.
+    size_t pos = d;
+    while (pos > 0) {
+      --pos;
+      if (subset[pos] + (d - pos) < m) break;
+      if (pos == 0) return best;
+    }
+    ++subset[pos];
+    for (size_t i = pos + 1; i < d; ++i) subset[i] = subset[i - 1] + 1;
+  }
+}
+
+class LpAuditPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LpAuditPropertyTest, RandomBisectorSystemsPassAuditAndMatchVertices) {
+  const size_t d = GetParam();
+  Rng rng(3100 + d);
+  ActiveSetSolver solver;
+  for (int trial = 0; trial < 30; ++trial) {
+    // A small random NN-cell system: the owner's cell within the unit cube.
+    size_t n = 2 + rng.NextIndex(6);
+    std::vector<std::vector<double>> storage(n + 1, std::vector<double>(d));
+    for (auto& p : storage) {
+      for (auto& v : p) v = rng.NextDouble();
+    }
+    const double* owner = storage[0].data();
+    std::vector<const double*> candidates;
+    for (size_t i = 1; i < storage.size(); ++i) {
+      candidates.push_back(storage[i].data());
+    }
+    LpProblem problem =
+        BuildCellProblem(owner, candidates, d, HyperRect::UnitCube(d));
+
+    // Random objective direction (components in [-1, 1], not all ~0).
+    std::vector<double> c(d);
+    double norm2 = 0.0;
+    for (auto& v : c) {
+      v = rng.NextDouble(-1.0, 1.0);
+      norm2 += v * v;
+    }
+    if (norm2 < 1e-4) c[0] = 1.0;
+
+    std::vector<double> start(owner, owner + d);
+    LpResult up = solver.Maximize(problem, c, start);
+    LpResult dn = solver.Minimize(problem, c, start);
+
+    // Independent audit: feasibility, objective consistency, KKT.
+    ASSERT_TRUE(
+        lp::AuditSolution(problem, c, up, lp::LpSense::kMaximize).ok())
+        << "trial " << trial << ": "
+        << lp::AuditSolution(problem, c, up, lp::LpSense::kMaximize)
+               .message();
+    ASSERT_TRUE(
+        lp::AuditSolution(problem, c, dn, lp::LpSense::kMinimize).ok())
+        << "trial " << trial << ": "
+        << lp::AuditSolution(problem, c, dn, lp::LpSense::kMinimize)
+               .message();
+
+    // Exhaustive cross-check (d <= 3 keeps the subset count tractable).
+    ASSERT_EQ(up.status, LpStatus::kOptimal);
+    ASSERT_EQ(dn.status, LpStatus::kOptimal);
+    double vertex_max = BruteForceVertexOptimum(problem, c);
+    std::vector<double> neg_c(d);
+    for (size_t i = 0; i < d; ++i) neg_c[i] = -c[i];
+    double vertex_min = -BruteForceVertexOptimum(problem, neg_c);
+    ASSERT_TRUE(std::isfinite(vertex_max));
+    EXPECT_NEAR(up.objective, vertex_max, 1e-7) << "trial " << trial;
+    EXPECT_NEAR(dn.objective, vertex_min, 1e-7) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LpAuditPropertyTest, ::testing::Values(2, 3));
+
+TEST(LpAuditTest, RejectsCorruptedOptimum) {
+  // Take a genuinely optimal solve, then perturb it: the audit must flag
+  // an interior point posing as an optimum (KKT failure) and an infeasible
+  // point (primal violation).
+  const size_t d = 2;
+  std::vector<double> owner = {0.3, 0.4};
+  std::vector<double> other = {0.8, 0.7};
+  std::vector<const double*> candidates = {other.data()};
+  LpProblem problem = BuildCellProblem(owner.data(), candidates, d,
+                                       HyperRect::UnitCube(d));
+  std::vector<double> c = {1.0, 0.0};
+  ActiveSetSolver solver;
+  LpResult r = solver.Maximize(problem, c, owner);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  ASSERT_TRUE(lp::AuditSolution(problem, c, r, lp::LpSense::kMaximize).ok());
+
+  // Interior point claiming optimality: stationarity cannot hold.
+  LpResult interior = r;
+  interior.x = owner;
+  interior.objective = owner[0];
+  EXPECT_FALSE(
+      lp::AuditSolution(problem, c, interior, lp::LpSense::kMaximize).ok());
+
+  // Point outside the feasible region: primal audit must fire.
+  LpResult outside = r;
+  outside.x = {1.5, 0.5};
+  outside.objective = 1.5;
+  EXPECT_FALSE(
+      lp::AuditSolution(problem, c, outside, lp::LpSense::kMaximize).ok());
+
+  // Objective not matching c . x.
+  LpResult lied = r;
+  lied.objective += 0.25;
+  EXPECT_FALSE(
+      lp::AuditSolution(problem, c, lied, lp::LpSense::kMaximize).ok());
+}
+
+TEST(LpAuditTest, NnlsRecoversConicCombination) {
+  // g built as a known non-negative combination of columns: NNLS must
+  // reproduce it with ~zero residual. A column pointing away must get a
+  // zero multiplier.
+  const size_t d = 3;
+  std::vector<double> a1 = {1.0, 0.0, 0.0};
+  std::vector<double> a2 = {0.0, 1.0, 0.0};
+  std::vector<double> a3 = {-1.0, -1.0, -1.0};  // never needed
+  std::vector<const double*> cols = {a1.data(), a2.data(), a3.data()};
+  std::vector<double> g = {2.0, 3.0, 0.0};  // = 2*a1 + 3*a2
+  std::vector<double> lambda;
+  double res = lp::NonNegativeLeastSquares(cols, d, g, &lambda);
+  EXPECT_LT(res, 1e-9);
+  ASSERT_EQ(lambda.size(), 3u);
+  EXPECT_NEAR(lambda[0], 2.0, 1e-9);
+  EXPECT_NEAR(lambda[1], 3.0, 1e-9);
+  EXPECT_NEAR(lambda[2], 0.0, 1e-9);
+  for (double v : lambda) EXPECT_GE(v, 0.0);
 }
 
 TEST(AdversarialLayoutTest, NearDuplicateClusters) {

@@ -10,6 +10,7 @@
 #include "rstar/node.h"
 #include "rstar/rstar_tree.h"
 #include "rstar/split.h"
+#include "rstar/validate.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
@@ -264,6 +265,8 @@ TEST_P(RStarTreeParamTest, RangeQueryMatchesBruteForce) {
     fx.tree->Insert(PointRect(p), i);
   }
   ASSERT_EQ(fx.tree->Validate(), "");
+  ASSERT_TRUE(rstar::ValidateTree(*fx.tree).ok());
+  ASSERT_TRUE(fx.pool.AuditPins().ok());
   EXPECT_EQ(fx.tree->size(), n);
 
   for (int trial = 0; trial < 20; ++trial) {
@@ -422,6 +425,10 @@ TEST(RStarTreeTest, DeleteAndValidate) {
   }
   EXPECT_EQ(fx.tree->size(), n / 2);
   ASSERT_EQ(fx.tree->Validate(), "");
+  // The deep validator (MBR containment, page accounting, pin audit) must
+  // agree with the string-based check.
+  ASSERT_TRUE(rstar::ValidateTree(*fx.tree).ok());
+  ASSERT_TRUE(fx.pool.AuditPins().ok());
   // Deleted points are gone; survivors remain.
   for (size_t i = 0; i < n; ++i) {
     auto hits = fx.tree->PointQuery(pts[i]);

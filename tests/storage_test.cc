@@ -1,5 +1,6 @@
 #include <cstring>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -214,6 +215,123 @@ TEST(BufferPoolTest, ManyPagesStress) {
     EXPECT_EQ(data[0], static_cast<uint8_t>(i)) << i;
     EXPECT_EQ(data[255], static_cast<uint8_t>(i));
   }
+  EXPECT_TRUE(pool.AuditPins().ok());
+}
+
+TEST(BufferPoolPinTest, PinnedPageSurvivesEvictionPressure) {
+  PageFile file(128);
+  BufferPool pool(&file, 3);
+  PageId keep = pool.AllocatePage();
+  uint8_t* bytes = pool.FetchMutable(keep);
+  bytes[0] = 99;
+  const uint8_t* before = pool.Fetch(keep);
+
+  pool.Pin(keep);
+  // Cycle far more pages than the pool holds: an unpinned `keep` would be
+  // evicted and its frame bytes reused.
+  for (int i = 0; i < 20; ++i) {
+    PageId p = pool.AllocatePage();
+    pool.FetchMutable(p)[0] = static_cast<uint8_t>(i);
+  }
+  // The pinned frame never moved and never lost its contents.
+  const uint8_t* after = pool.Fetch(keep);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(after[0], 99);
+  EXPECT_EQ(pool.pinned_frames(), 1u);
+
+  // A leak check must fire while the pin is held...
+  EXPECT_FALSE(pool.AuditPins().ok());
+  // ...but structural consistency (with pins allowed) must still pass.
+  EXPECT_TRUE(pool.AuditPins(/*expect_unpinned=*/false).ok());
+
+  pool.Unpin(keep);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_TRUE(pool.AuditPins().ok());
+}
+
+TEST(BufferPoolPinTest, PinsNest) {
+  PageFile file(128);
+  BufferPool pool(&file, 2);
+  PageId p = pool.AllocatePage();
+  pool.Pin(p);
+  pool.Pin(p);
+  EXPECT_EQ(pool.pinned_frames(), 1u);  // one frame, nested twice
+  pool.Unpin(p);
+  EXPECT_EQ(pool.pinned_frames(), 1u);  // still pinned once
+  pool.Unpin(p);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_TRUE(pool.AuditPins().ok());
+}
+
+TEST(BufferPoolPinTest, PageGuardReleasesOnScopeExit) {
+  PageFile file(128);
+  BufferPool pool(&file, 4);
+  PageId p = pool.AllocatePage();
+  {
+    PageGuard guard(&pool, p);
+    EXPECT_EQ(pool.pinned_frames(), 1u);
+    PageGuard moved = std::move(guard);  // ownership transfer, no double pin
+    EXPECT_EQ(pool.pinned_frames(), 1u);
+  }
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_TRUE(pool.AuditPins().ok());
+}
+
+TEST(BufferPoolPinTest, PinLoadsEvictedPage) {
+  PageFile file(128);
+  BufferPool pool(&file, 2);
+  PageId p = pool.AllocatePage();
+  pool.FetchMutable(p)[0] = 55;
+  pool.DropCache();  // p now only on disk
+  pool.Pin(p);       // must load it back
+  EXPECT_EQ(pool.Fetch(p)[0], 55);
+  pool.Unpin(p);
+  EXPECT_TRUE(pool.AuditPins().ok());
+}
+
+TEST(BufferPoolPinTest, DirtyAccountingTracked) {
+  PageFile file(128);
+  BufferPool pool(&file, 4);
+  PageId a = pool.AllocatePage();  // allocation dirties the frame
+  PageId b = pool.AllocatePage();
+  EXPECT_EQ(pool.dirty_frames(), 2u);
+  pool.Flush();
+  EXPECT_EQ(pool.dirty_frames(), 0u);
+  pool.FetchMutable(a);
+  EXPECT_EQ(pool.dirty_frames(), 1u);
+  pool.Fetch(b);  // read access stays clean
+  EXPECT_EQ(pool.dirty_frames(), 1u);
+  EXPECT_TRUE(pool.AuditPins().ok());
+}
+
+TEST(BufferPoolPinDeathTest, DoubleUnpinAborts) {
+  PageFile file(128);
+  BufferPool pool(&file, 2);
+  PageId p = pool.AllocatePage();
+  pool.Pin(p);
+  pool.Unpin(p);
+  EXPECT_DEATH(pool.Unpin(p), "double unpin|not pinned");
+}
+
+TEST(BufferPoolPinDeathTest, FreeingPinnedPageAborts) {
+  PageFile file(128);
+  BufferPool pool(&file, 2);
+  PageId p = pool.AllocatePage();
+  pool.Pin(p);
+  EXPECT_DEATH(pool.FreePage(p), "pinned");
+  pool.Unpin(p);
+}
+
+TEST(BufferPoolPinDeathTest, AllFramesPinnedAborts) {
+  PageFile file(128);
+  BufferPool pool(&file, 2);
+  PageId a = pool.AllocatePage();
+  PageId b = pool.AllocatePage();
+  pool.Pin(a);
+  pool.Pin(b);
+  EXPECT_DEATH(pool.AllocatePage(), "pinned");
+  pool.Unpin(a);
+  pool.Unpin(b);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "storage/buffer_pool.h"
 #include "rstar/rstar_tree.h"
+#include "rstar/validate.h"
 #include "storage/page_file.h"
 #include "xtree/xsplit.h"
 #include "xtree/xtree.h"
@@ -164,6 +165,10 @@ TEST(XTreeTest, HighDimOverlappingRectsCreateSupernodes) {
     fx.tree->Insert(HyperRect(lo, hi), i);
   }
   ASSERT_EQ(fx.tree->Validate(), "");
+  // Deep validator: supernode invariants (span bounds, no under-filled
+  // supernodes), page accounting, and quiescent pin audit.
+  ASSERT_TRUE(rstar::ValidateTree(*fx.tree).ok());
+  ASSERT_TRUE(fx.pool.AuditPins().ok());
   EXPECT_GT(fx.tree->supernode_events(), 0u);
   auto info = fx.tree->Info();
   EXPECT_GT(info.num_supernodes, 0u);
@@ -197,6 +202,8 @@ TEST(XTreeTest, DeleteWorks) {
     EXPECT_TRUE(fx.tree->Delete(PointRect(pts[i]), i));
   }
   ASSERT_EQ(fx.tree->Validate(), "");
+  ASSERT_TRUE(rstar::ValidateTree(*fx.tree).ok());
+  ASSERT_TRUE(fx.pool.AuditPins().ok());
   for (size_t i = 0; i < 400; ++i) {
     auto hits = fx.tree->PointQuery(pts[i].data());
     bool found = false;

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Verifies that every C++ source file is clang-format clean (no diff against
+# the repo's .clang-format). Exits 0 when clean or when clang-format is not
+# installed (so developer machines without LLVM tooling are not blocked);
+# pass --strict to make a missing clang-format an error, as CI does.
+#
+# Usage: tools/check_format.sh [--strict] [--fix]
+#   --strict  fail (exit 2) if clang-format is unavailable
+#   --fix     rewrite files in place instead of just reporting
+set -u
+
+strict=0
+fix=0
+for arg in "$@"; do
+  case "$arg" in
+    --strict) strict=1 ;;
+    --fix) fix=1 ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+      clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+
+if [ -z "$CLANG_FORMAT" ]; then
+  if [ "$strict" -eq 1 ]; then
+    echo "error: clang-format not found (required with --strict)" >&2
+    exit 2
+  fi
+  echo "clang-format not found; skipping format check"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.h' '*.cc')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "no C++ files tracked; nothing to check"
+  exit 0
+fi
+
+if [ "$fix" -eq 1 ]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    if [ "$bad" -eq 0 ]; then
+      echo "files needing formatting (run tools/check_format.sh --fix):"
+    fi
+    echo "  $f"
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  exit 1
+fi
+echo "all ${#files[@]} files clang-format clean ($("$CLANG_FORMAT" --version))"
