@@ -32,12 +32,14 @@ BenchConfig ParseArgs(int argc, char** argv) {
       config.cpu_scale = std::atof(v);
     } else if (const char* v = value("--seed=")) {
       config.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads=")) {
+      config.threads = std::strtoul(v, nullptr, 10);
     } else if (arg == "--warm") {
       config.cold_queries = false;
     } else if (arg == "--help") {
       std::printf(
           "flags: --scale=F --queries=N --latency-ms=F --cpu-scale=F "
-          "--seed=N --warm\n");
+          "--seed=N --threads=N --warm\n");
       std::exit(0);
     }
   }
@@ -91,6 +93,7 @@ NNCellSetup BuildNNCell(const PointSet& pts, NNCellOptions options,
   setup.file = std::make_unique<PageFile>(config.page_size);
   setup.pool = std::make_unique<BufferPool>(setup.file.get(),
                                             config.cache_pages);
+  options.parallel.num_threads = config.threads;
   setup.index =
       std::make_unique<NNCellIndex>(setup.pool.get(), pts.dim(), options);
   Stopwatch timer;

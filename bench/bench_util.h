@@ -32,10 +32,14 @@ struct BenchConfig {
   size_t cache_pages = 2048;     // equal cache budget per index (8 MB)
   uint64_t seed = 42;
   bool cold_queries = true;      // drop the cache before every query
+  // Worker threads for the parallel build / batched-query phases
+  // (NNCellOptions::parallel). 1 = serial, 0 = one per hardware core.
+  size_t threads = 1;
 };
 
-// Parses --scale=, --queries=, --latency-ms=, --cpu-scale=, --seed= and
-// --warm flags plus the NNCELL_BENCH_SCALE environment variable.
+// Parses --scale=, --queries=, --latency-ms=, --cpu-scale=, --seed=,
+// --threads= and --warm flags plus the NNCELL_BENCH_SCALE environment
+// variable.
 BenchConfig ParseArgs(int argc, char** argv);
 
 // base * scale, at least `min`.

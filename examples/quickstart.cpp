@@ -56,5 +56,23 @@ int main() {
   std::printf("after inserting the query point: id=%llu dist=%.4f (was %.4f)\n",
               static_cast<unsigned long long>(after->id), after->dist,
               id->dist);
+
+  // 6. Batched queries across worker threads. SetNumThreads(0) uses one
+  //    thread per hardware core; the answers are identical to a serial
+  //    loop of Query() calls (the readers only share the buffer pool).
+  //    options.parallel.num_threads would likewise parallelize BulkBuild
+  //    -- producing a byte-identical index.
+  index.SetNumThreads(0);
+  PointSet batch = GenerateQueries(64, dim, /*seed=*/9);
+  auto results = index.QueryBatch(batch);
+  if (!results.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  double mean_dist = 0.0;
+  for (const auto& r : *results) mean_dist += r.dist;
+  std::printf("batched %zu queries in parallel; mean NN distance %.4f\n",
+              results->size(), mean_dist / static_cast<double>(results->size()));
   return 0;
 }

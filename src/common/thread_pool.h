@@ -1,0 +1,75 @@
+#ifndef NNCELL_COMMON_THREAD_POOL_H_
+#define NNCELL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nncell {
+
+// Small work-stealing thread pool for the parallel phases of the engine
+// (per-point LP fan-out during bulk builds, batched query execution).
+// Each worker owns a deque: new tasks are distributed round-robin, a
+// worker pops its own deque LIFO (cache-warm) and steals FIFO from its
+// siblings when empty. The pool is task-agnostic; determinism is the
+// caller's job (submit pure tasks that write to disjoint result slots and
+// commit in a fixed order afterwards).
+//
+// Tasks must not throw. ParallelFor may be called concurrently from
+// several external threads (each call tracks its own completion), but a
+// task running *on* the pool must not call back into ParallelFor: with
+// every worker blocked in a nested wait there may be nobody left to run
+// the nested chunks.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return queues_.size(); }
+
+  // Enqueues a fire-and-forget task. Every queued task is completed
+  // before the destructor returns.
+  void Submit(std::function<void()> task);
+
+  // Runs body(i) for every i in [begin, end), chunked across the workers;
+  // returns when every iteration has finished. `body` is invoked
+  // concurrently and must be safe to call from several threads at once.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+  // std::thread::hardware_concurrency with a fallback of 1.
+  static size_t DefaultThreads();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Own queue (back) first, then steals from siblings (front). Returns an
+  // empty function when every queue is empty.
+  std::function<void()> TryPop(size_t self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> queued_{0};      // pushed, not yet popped
+  std::atomic<size_t> next_queue_{0};  // round-robin submit cursor
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;  // guarded by wake_mu_
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_THREAD_POOL_H_

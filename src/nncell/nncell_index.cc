@@ -58,6 +58,19 @@ NNCellIndex::NNCellIndex(BufferPool* pool, size_t dim, NNCellOptions options)
   TreeOptions point_opts;
   point_opts.dim = dim;
   point_tree_ = std::make_unique<XTree>(point_pool_.get(), point_opts);
+
+  SetNumThreads(options_.parallel.num_threads);
+}
+
+void NNCellIndex::SetNumThreads(size_t num_threads) {
+  options_.parallel.num_threads = num_threads;
+  size_t resolved = options_.parallel.Resolve();
+  if (resolved <= 1) {
+    thread_pool_.reset();
+  } else if (thread_pool_ == nullptr ||
+             thread_pool_->num_threads() != resolved) {
+    thread_pool_ = std::make_unique<ThreadPool>(resolved);
+  }
 }
 
 NNCellIndex::~NNCellIndex() = default;
@@ -157,15 +170,15 @@ std::vector<const double*> NNCellIndex::SelectCandidates(const double* point,
 }
 
 std::vector<HyperRect> NNCellIndex::ComputeCellRects(const double* owner,
-                                                     uint64_t self) {
+                                                     uint64_t self,
+                                                     ApproxStats* stats) const {
   std::vector<const double*> candidates = SelectCandidates(owner, self);
-  HyperRect full =
-      approximator_.ApproximateMbr(owner, candidates, &build_stats_.approx);
+  HyperRect full = approximator_.ApproximateMbr(owner, candidates, stats);
   if (options_.decomposition.max_partitions <= 1) {
     return {full};
   }
   return DecomposeCell(approximator_, owner, candidates, full,
-                       options_.decomposition, &build_stats_.approx);
+                       options_.decomposition, stats);
 }
 
 std::vector<double> NNCellIndex::ToMetricSpace(const double* x) const {
@@ -240,7 +253,8 @@ StatusOr<uint64_t> NNCellIndex::Insert(const std::vector<double>& original) {
   StatusOr<uint64_t> id_or = RegisterPoint(original, true);
   if (!id_or.ok()) return id_or;
   uint64_t id = *id_or;
-  std::vector<HyperRect> rects = ComputeCellRects(points_[id], id);
+  std::vector<HyperRect> rects =
+      ComputeCellRects(points_[id], id, &build_stats_.approx);
   for (const HyperRect& rect : rects) {
     tree_->Insert(rect, id, points_[id]);
     ++build_stats_.entries_inserted;
@@ -330,8 +344,39 @@ Status NNCellIndex::BulkBuild(const PointSet& pts) {
   // cell rectangles go through the tree's regular insert path: for fat,
   // heavily overlapping rectangles the R*/X split machinery groups by
   // rectangle similarity, which beats center-based STR packing here.
+  //
+  // The approximations only read state that is frozen after phase 1 (the
+  // point table and the point tree), so the 2d LP solves per cell fan out
+  // across the thread pool; the point tree's buffer pool serves the
+  // workers as concurrent readers. Results are committed to the cell tree
+  // on this thread in ascending point order, so the on-disk index is
+  // byte-identical to a serial build regardless of the thread count.
+  if (thread_pool_ != nullptr && ids.size() > 1) {
+    std::vector<std::vector<HyperRect>> computed(ids.size());
+    std::vector<ApproxStats> worker_stats(ids.size());
+    thread_pool_->ParallelFor(0, ids.size(), [&](size_t i) {
+      computed[i] =
+          ComputeCellRects(points_[ids[i]], ids[i], &worker_stats[i]);
+    });
+    for (const ApproxStats& s : worker_stats) {
+      build_stats_.approx.lp_runs += s.lp_runs;
+      build_stats_.approx.lp_iterations += s.lp_iterations;
+      build_stats_.approx.lp_failures += s.lp_failures;
+      build_stats_.approx.constraint_rows += s.constraint_rows;
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const uint64_t id = ids[i];
+      for (const HyperRect& rect : computed[i]) {
+        tree_->Insert(rect, id, points_[id]);
+        ++build_stats_.entries_inserted;
+      }
+      cell_rects_[id] = std::move(computed[i]);
+    }
+    return Status::OK();
+  }
   for (uint64_t id : ids) {
-    std::vector<HyperRect> rects = ComputeCellRects(points_[id], id);
+    std::vector<HyperRect> rects =
+        ComputeCellRects(points_[id], id, &build_stats_.approx);
     for (const HyperRect& rect : rects) {
       tree_->Insert(rect, id, points_[id]);
       ++build_stats_.entries_inserted;
@@ -366,7 +411,8 @@ void NNCellIndex::RecomputeCell(uint64_t id) {
     bool removed = tree_->Delete(rect, id);
     NNCELL_CHECK_MSG(removed, "indexed cell rectangle missing");
   }
-  std::vector<HyperRect> rects = ComputeCellRects(points_[id], id);
+  std::vector<HyperRect> rects =
+      ComputeCellRects(points_[id], id, &build_stats_.approx);
   for (const HyperRect& rect : rects) {
     tree_->Insert(rect, id, points_[id]);
     ++build_stats_.entries_inserted;
@@ -423,6 +469,42 @@ StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
     const std::vector<double>& q) const {
   NNCELL_CHECK(q.size() == dim_);
   return Query(q.data());
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::QueryBatch(
+    const PointSet& queries) const {
+  if (queries.dim() != dim_) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  if (live_count_ == 0) return Status::FailedPrecondition("index is empty");
+
+  const size_t n = queries.size();
+  std::vector<QueryResult> results(n);
+  if (thread_pool_ == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      StatusOr<QueryResult> r = Query(queries[i]);
+      if (!r.ok()) return r.status();
+      results[i] = std::move(*r);
+    }
+    return results;
+  }
+
+  // N concurrent readers over the shared (sharded) buffer pool. Every
+  // result lands in its own slot, so the batch output is deterministic
+  // and identical to the serial loop above.
+  std::vector<Status> errors(n, Status::OK());
+  thread_pool_->ParallelFor(0, n, [&](size_t i) {
+    StatusOr<QueryResult> r = Query(queries[i]);
+    if (r.ok()) {
+      results[i] = std::move(*r);
+    } else {
+      errors[i] = r.status();
+    }
+  });
+  for (const Status& st : errors) {
+    if (!st.ok()) return st;
+  }
+  return results;
 }
 
 StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(

@@ -11,6 +11,7 @@
 #include "common/hyper_rect.h"
 #include "common/point_set.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "geom/cell_approximator.h"
 #include "geom/decomposition.h"
 #include "rstar/rtree_core.h"
@@ -28,6 +29,21 @@ enum class MaintenanceMode {
             // sphere around the new point
   kExact,   // recompute exactly the cells whose MBR crosses the bisector of
             // (owner, new point) -- every cell that can actually shrink
+};
+
+// Threading knob for the parallel phases of the engine. The per-point LP
+// solves of a bulk build are embarrassingly parallel ([Ber+ 97] proposes
+// parallelism as the cure for the residual NN search cost; covering-box
+// Voronoi constructions make the same observation), and batched queries
+// fan out across concurrent readers of the shared buffer pool.
+struct ParallelOptions {
+  // Threads used for BulkBuild LP fan-out and QueryBatch. 1 = serial
+  // (no pool is created); 0 = one thread per hardware core.
+  size_t num_threads = 1;
+
+  size_t Resolve() const {
+    return num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+  }
 };
 
 struct NNCellOptions {
@@ -62,6 +78,11 @@ struct NNCellOptions {
   MaintenanceMode maintenance = MaintenanceMode::kExact;
 
   LpOptions lp;
+
+  // Threading for BulkBuild / QueryBatch. Purely a runtime knob: the
+  // built index is byte-identical for every thread count, so it is not
+  // part of the persisted image.
+  ParallelOptions parallel;
 
   // Options forwarded to the underlying tree (dim / aux are overwritten).
   TreeOptions tree;
@@ -132,9 +153,23 @@ class NNCellIndex {
 
   // Nearest-neighbor query = point query on the approximation index plus
   // exact distance checks over the candidates (Lemma 2 guarantees the true
-  // NN is always among them).
+  // NN is always among them). Query is safe to call from any number of
+  // threads concurrently as long as no thread mutates the index (Insert /
+  // Delete / BulkBuild) at the same time.
   StatusOr<QueryResult> Query(const double* q) const;
   StatusOr<QueryResult> Query(const std::vector<double>& q) const;
+
+  // Batched nearest-neighbor search: answers every query and returns the
+  // results in input order. With options().parallel.num_threads > 1 the
+  // batch is fanned across the thread pool -- N concurrent readers over
+  // the shared buffer pool; results are identical to a serial loop of
+  // Query() calls. Several threads may call QueryBatch concurrently.
+  StatusOr<std::vector<QueryResult>> QueryBatch(const PointSet& queries) const;
+
+  // Reconfigures the thread count for the parallel phases (e.g. after
+  // Load, which restores with the serial default). Not thread-safe: call
+  // only while no other thread uses the index.
+  void SetNumThreads(size_t num_threads);
 
   // Exact k-nearest-neighbor search -- the extension the paper names as
   // future work. Every point within distance r of q has a cell
@@ -199,8 +234,11 @@ class NNCellIndex {
   std::vector<const double*> SelectCandidates(const double* point,
                                               uint64_t self) const;
 
-  // Computes the decomposed MBR approximation of `owner`'s cell.
-  std::vector<HyperRect> ComputeCellRects(const double* owner, uint64_t self);
+  // Computes the decomposed MBR approximation of `owner`'s cell. Pure
+  // read (candidate selection + LP solves): safe to run concurrently for
+  // different owners as long as each call gets its own `stats`.
+  std::vector<HyperRect> ComputeCellRects(const double* owner, uint64_t self,
+                                          ApproxStats* stats) const;
 
   // Replaces the indexed rectangles of `id` with freshly computed ones.
   void RecomputeCell(uint64_t id);
@@ -226,6 +264,10 @@ class NNCellIndex {
   PointSet points_;
   CellApproximator approximator_;
   std::unique_ptr<RTreeCore> tree_;  // indexes the cell approximations
+
+  // Workers for BulkBuild fan-out and QueryBatch; nullptr when the
+  // resolved thread count is 1 (serial).
+  std::unique_ptr<ThreadPool> thread_pool_;
 
   // Build-time point index: the paper's Point/Sphere strategies select
   // candidates by page rectangles of an index over the data points.

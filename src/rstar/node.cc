@@ -49,25 +49,35 @@ size_t NodeStore::PagesNeeded(bool is_leaf, size_t n) const {
 PageId NodeStore::AllocateNode() { return pool_->AllocatePage(); }
 
 const uint8_t* NodeStore::AssembleNode(PageId id) const {
+  // The caller holds a pin on `id` (see VisitNode / Read), so the first
+  // frame cannot move under us and, for the single-page common case, stays
+  // valid after we return.
   const uint8_t* first = pool_->Fetch(id);
   uint32_t num_extra;
   std::memcpy(&num_extra, first + 4, sizeof(num_extra));
   if (num_extra == 0) return first;  // common case: frame used in place
 
-  scratch_.resize((1 + num_extra) * page_size_);
-  std::memcpy(scratch_.data(), first, page_size_);
+  // Supernodes are assembled into a thread-local buffer so concurrent
+  // readers never share scratch space. Each overflow page is pinned for
+  // the duration of its copy: a sibling reader's cache miss may evict any
+  // unpinned frame of this shard at any time.
+  static thread_local std::vector<uint8_t> scratch;
+  scratch.resize((1 + num_extra) * page_size_);
+  std::memcpy(scratch.data(), first, page_size_);
   // The overflow id list lives in the first page header.
   for (uint32_t i = 0; i < num_extra; ++i) {
     uint32_t extra_id;
-    std::memcpy(&extra_id, scratch_.data() + kHeaderBytes + i * 4, 4);
+    std::memcpy(&extra_id, scratch.data() + kHeaderBytes + i * 4, 4);
+    PageGuard guard(pool_, extra_id);
     const uint8_t* p = pool_->Fetch(extra_id);
-    std::memcpy(scratch_.data() + (1 + i) * page_size_, p, page_size_);
+    std::memcpy(scratch.data() + (1 + i) * page_size_, p, page_size_);
   }
-  return scratch_.data();
+  return scratch.data();
 }
 
 Node NodeStore::Read(PageId id) const {
   Node node;
+  PageGuard guard(pool_, id);
   const uint8_t* stream = AssembleNode(id);
   node.is_leaf = stream[0] != 0;
   uint16_t num_entries;

@@ -84,11 +84,13 @@ class NodeStore {
 
   // Allocation-free scan for the hot query paths: invokes
   // visit(EntryView, is_leaf) for every entry and returns whether the node
-  // is a leaf. Reuses an internal scratch buffer, so the callback must
-  // finish before the next VisitNode call (queries therefore collect child
-  // page ids first and descend afterwards). The node's first page is
-  // pinned for the duration of the scan, so a callback that touches the
-  // buffer pool cannot evict the frame the EntryView pointers reference.
+  // is a leaf. Reuses a thread-local scratch buffer, so within one thread
+  // the callback must finish before the next VisitNode call (queries
+  // therefore collect child page ids first and descend afterwards); any
+  // number of threads may scan concurrently. The node's first page is
+  // pinned for the duration of the scan, so neither a callback that
+  // touches the buffer pool nor a concurrent reader's cache miss can
+  // evict the frame the EntryView pointers reference.
   template <typename Fn>
   bool VisitNode(PageId id, Fn&& visit) const {
     PageGuard guard(pool_, id);
@@ -123,15 +125,15 @@ class NodeStore {
     return (8 + num_extra * sizeof(uint32_t) + 7) & ~size_t{7};
   }
 
-  // Concatenates the node's pages into scratch_ (or returns the cached
-  // frame directly for single-page nodes) and returns the byte stream.
+  // Concatenates the node's pages into a thread-local scratch buffer (or
+  // returns the cached frame directly for single-page nodes) and returns
+  // the byte stream. The caller must hold a pin on `id`.
   const uint8_t* AssembleNode(PageId id) const;
 
   BufferPool* pool_;
   size_t dim_;
   size_t aux_;
   size_t page_size_;
-  mutable std::vector<uint8_t> scratch_;
 };
 
 }  // namespace nncell

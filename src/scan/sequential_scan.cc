@@ -50,6 +50,9 @@ std::vector<SequentialScan::Result> SequentialScan::KnnQuery(const double* q,
   size_t remaining = size_;
   std::vector<double> point(dim_);
   for (PageId page : pages_) {
+    // Pinned while decoding: concurrent readers sharing the pool may
+    // otherwise evict the frame mid-scan.
+    PageGuard guard(pool_, page);
     const uint8_t* frame = pool_->Fetch(page);
     size_t records = std::min(remaining, RecordsPerPage());
     ByteReader reader(frame, pool_->page_size());

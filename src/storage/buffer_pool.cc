@@ -10,253 +10,342 @@ BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
     : file_(file), capacity_(capacity_pages) {
   NNCELL_CHECK(file != nullptr);
   NNCELL_CHECK(capacity_pages >= 1);
-  frames_.reserve(capacity_);
+  size_t num_shards = 1;
+  if (capacity_pages >= kShardThreshold) {
+    num_shards = capacity_pages / (kShardThreshold / 2);
+    if (num_shards > kMaxShards) num_shards = kMaxShards;
+  }
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Shard capacities sum exactly to the configured budget.
+    shard->capacity = capacity_ / num_shards + (s < capacity_ % num_shards);
+    NNCELL_CHECK(shard->capacity >= 1);
+    shard->frames.reserve(shard->capacity);
+    shards_.push_back(std::move(shard));
+  }
 }
 
-BufferPool::Frame& BufferPool::GetFrame(PageId id, bool load_from_disk) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    Touch(it->second);
-    return frames_[it->second];
+BufferPool::Frame& BufferPool::GetFrame(Shard& shard, PageId id,
+                                        bool load_from_disk) {
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    Touch(shard, it->second);
+    return shard.frames[it->second];
   }
 
   size_t idx;
-  if (!free_frames_.empty()) {
-    idx = free_frames_.back();
-    free_frames_.pop_back();
-  } else if (frames_.size() < capacity_) {
-    idx = frames_.size();
-    frames_.emplace_back();
-    frames_[idx].bytes.resize(file_->page_size());
+  if (!shard.free_frames.empty()) {
+    idx = shard.free_frames.back();
+    shard.free_frames.pop_back();
+  } else if (shard.frames.size() < shard.capacity) {
+    idx = shard.frames.size();
+    shard.frames.emplace_back();
+    shard.frames[idx].bytes.resize(file_->page_size());
   } else {
-    idx = EvictOne();
+    idx = EvictOne(shard);
   }
 
-  Frame& f = frames_[idx];
+  Frame& f = shard.frames[idx];
   f.id = id;
   NNCELL_DCHECK(!f.dirty);
   NNCELL_DCHECK(f.pins == 0);
   if (load_from_disk) {
-    ++stats_.physical_reads;
+    ++shard.stats.physical_reads;
     file_->Read(id, f.bytes.data());
   } else {
     std::memset(f.bytes.data(), 0, f.bytes.size());
   }
-  lru_.push_front(idx);
-  f.lru_it = lru_.begin();
-  map_[id] = idx;
+  shard.lru.push_front(idx);
+  f.lru_it = shard.lru.begin();
+  shard.map[id] = idx;
   return f;
 }
 
-void BufferPool::Touch(size_t frame_idx) {
-  lru_.erase(frames_[frame_idx].lru_it);
-  lru_.push_front(frame_idx);
-  frames_[frame_idx].lru_it = lru_.begin();
+void BufferPool::Touch(Shard& shard, size_t frame_idx) {
+  shard.lru.erase(shard.frames[frame_idx].lru_it);
+  shard.lru.push_front(frame_idx);
+  shard.frames[frame_idx].lru_it = shard.lru.begin();
 }
 
-size_t BufferPool::EvictOne() {
+size_t BufferPool::EvictOne(Shard& shard) {
   // Oldest unpinned frame; pinned frames are not eviction candidates.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
     size_t idx = *it;
-    Frame& f = frames_[idx];
+    Frame& f = shard.frames[idx];
     if (f.pins > 0) continue;
-    lru_.erase(std::next(it).base());
+    shard.lru.erase(std::next(it).base());
     if (f.dirty) {
-      ++stats_.writebacks;
+      ++shard.stats.writebacks;
       file_->Write(f.id, f.bytes.data());
-      ClearDirty(f);
+      ClearDirty(shard, f);
     }
-    map_.erase(f.id);
+    shard.map.erase(f.id);
     f.id = kInvalidPageId;
     return idx;
   }
-  NNCELL_CHECK_MSG(false, "buffer pool exhausted: every frame is pinned");
+  NNCELL_CHECK_MSG(false, "buffer pool shard exhausted: every frame pinned");
   return 0;  // unreachable
 }
 
 const uint8_t* BufferPool::Fetch(PageId id) {
-  ++stats_.logical_reads;
-  return GetFrame(id, /*load_from_disk=*/true).bytes.data();
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.logical_reads;
+  return GetFrame(shard, id, /*load_from_disk=*/true).bytes.data();
 }
 
 uint8_t* BufferPool::FetchMutable(PageId id) {
-  ++stats_.logical_reads;
-  Frame& f = GetFrame(id, /*load_from_disk=*/true);
-  MarkDirty(f);
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.logical_reads;
+  Frame& f = GetFrame(shard, id, /*load_from_disk=*/true);
+  MarkDirty(shard, f);
   return f.bytes.data();
 }
 
 PageId BufferPool::AllocatePage() {
   PageId id = file_->Allocate();
-  Frame& f = GetFrame(id, /*load_from_disk=*/false);
-  MarkDirty(f);
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Frame& f = GetFrame(shard, id, /*load_from_disk=*/false);
+  MarkDirty(shard, f);
   return id;
 }
 
 PageId BufferPool::AllocateRun(size_t count) {
   PageId first = file_->AllocateRun(count);
   for (size_t i = 0; i < count; ++i) {
-    Frame& f = GetFrame(first + static_cast<PageId>(i), false);
-    MarkDirty(f);
+    PageId id = first + static_cast<PageId>(i);
+    Shard& shard = ShardOf(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Frame& f = GetFrame(shard, id, /*load_from_disk=*/false);
+    MarkDirty(shard, f);
   }
   return first;
 }
 
 void BufferPool::FreePage(PageId id) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    size_t idx = it->second;
-    NNCELL_CHECK_MSG(frames_[idx].pins == 0, "freeing a pinned page");
-    lru_.erase(frames_[idx].lru_it);
-    map_.erase(it);
-    frames_[idx].id = kInvalidPageId;
-    ClearDirty(frames_[idx]);
-    free_frames_.push_back(idx);
+  Shard& shard = ShardOf(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(id);
+    if (it != shard.map.end()) {
+      size_t idx = it->second;
+      NNCELL_CHECK_MSG(shard.frames[idx].pins == 0, "freeing a pinned page");
+      shard.lru.erase(shard.frames[idx].lru_it);
+      shard.map.erase(it);
+      shard.frames[idx].id = kInvalidPageId;
+      ClearDirty(shard, shard.frames[idx]);
+      shard.free_frames.push_back(idx);
+    }
   }
   file_->Free(id);
 }
 
 void BufferPool::Pin(PageId id) {
-  Frame& f = GetFrame(id, /*load_from_disk=*/true);
-  if (f.pins == 0) ++pinned_frames_;
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Frame& f = GetFrame(shard, id, /*load_from_disk=*/true);
+  if (f.pins == 0) ++shard.pinned_frames;
   ++f.pins;
 }
 
 void BufferPool::Unpin(PageId id) {
-  auto it = map_.find(id);
-  NNCELL_CHECK_MSG(it != map_.end(), "unpinning a non-resident page");
-  Frame& f = frames_[it->second];
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  NNCELL_CHECK_MSG(it != shard.map.end(), "unpinning a non-resident page");
+  Frame& f = shard.frames[it->second];
   NNCELL_CHECK_MSG(f.pins > 0, "double unpin");
   --f.pins;
   if (f.pins == 0) {
-    NNCELL_CHECK(pinned_frames_ > 0);
-    --pinned_frames_;
+    NNCELL_CHECK(shard.pinned_frames > 0);
+    --shard.pinned_frames;
   }
 }
 
+size_t BufferPool::pinned_frames() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pinned_frames;
+  }
+  return total;
+}
+
+size_t BufferPool::dirty_frames() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->dirty_frames;
+  }
+  return total;
+}
+
 void BufferPool::Flush() {
-  for (Frame& f : frames_) {
-    if (f.id != kInvalidPageId && f.dirty) {
-      ++stats_.writebacks;
-      file_->Write(f.id, f.bytes.data());
-      ClearDirty(f);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& f : shard->frames) {
+      if (f.id != kInvalidPageId && f.dirty) {
+        ++shard->stats.writebacks;
+        file_->Write(f.id, f.bytes.data());
+        ClearDirty(*shard, f);
+      }
     }
   }
 }
 
 void BufferPool::Invalidate() {
-  NNCELL_CHECK_MSG(pinned_frames_ == 0, "Invalidate with pinned pages");
-  for (Frame& f : frames_) {
-    f.id = kInvalidPageId;
-    ClearDirty(f);
+  NNCELL_CHECK_MSG(pinned_frames() == 0, "Invalidate with pinned pages");
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& f : shard->frames) {
+      f.id = kInvalidPageId;
+      ClearDirty(*shard, f);
+    }
+    shard->lru.clear();
+    shard->map.clear();
+    shard->free_frames.clear();
+    for (size_t i = 0; i < shard->frames.size(); ++i) {
+      shard->free_frames.push_back(i);
+    }
   }
-  lru_.clear();
-  map_.clear();
-  free_frames_.clear();
-  for (size_t i = 0; i < frames_.size(); ++i) free_frames_.push_back(i);
 }
 
 void BufferPool::DropCache() {
-  NNCELL_CHECK_MSG(pinned_frames_ == 0, "DropCache with pinned pages");
+  NNCELL_CHECK_MSG(pinned_frames() == 0, "DropCache with pinned pages");
   Flush();
-  for (Frame& f : frames_) f.id = kInvalidPageId;
-  lru_.clear();
-  map_.clear();
-  free_frames_.clear();
-  for (size_t i = 0; i < frames_.size(); ++i) free_frames_.push_back(i);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& f : shard->frames) f.id = kInvalidPageId;
+    shard->lru.clear();
+    shard->map.clear();
+    shard->free_frames.clear();
+    for (size_t i = 0; i < shard->frames.size(); ++i) {
+      shard->free_frames.push_back(i);
+    }
+  }
+}
+
+BufferStats BufferPool::stats() const {
+  BufferStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.logical_reads += shard->stats.logical_reads;
+    total.physical_reads += shard->stats.physical_reads;
+    total.writebacks += shard->stats.writebacks;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats.Reset();
+  }
 }
 
 Status BufferPool::AuditPins(bool expect_unpinned) const {
-  std::ostringstream err;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::ostringstream err;
+    err << "shard " << s << ": ";
 
-  // 1. The map and the frame table agree.
-  for (const auto& [id, idx] : map_) {
-    if (idx >= frames_.size()) {
-      err << "map entry for page " << id << " points past the frame table";
-      return Status::Internal(err.str());
+    // 1. The map and the frame table agree.
+    for (const auto& [id, idx] : shard.map) {
+      if (idx >= shard.frames.size()) {
+        err << "map entry for page " << id << " points past the frame table";
+        return Status::Internal(err.str());
+      }
+      if (shard.frames[idx].id != id) {
+        err << "map says frame " << idx << " holds page " << id
+            << " but the frame says " << shard.frames[idx].id;
+        return Status::Internal(err.str());
+      }
     }
-    if (frames_[idx].id != id) {
-      err << "map says frame " << idx << " holds page " << id
-          << " but the frame says " << frames_[idx].id;
-      return Status::Internal(err.str());
-    }
-  }
 
-  // 2. LRU list: no duplicates, every element resident and mapped.
-  std::unordered_set<size_t> in_lru;
-  for (size_t idx : lru_) {
-    if (idx >= frames_.size()) {
-      return Status::Internal("LRU references a frame past the table");
+    // 2. LRU list: no duplicates, every element resident and mapped.
+    std::unordered_set<size_t> in_lru;
+    for (size_t idx : shard.lru) {
+      if (idx >= shard.frames.size()) {
+        err << "LRU references a frame past the table";
+        return Status::Internal(err.str());
+      }
+      if (!in_lru.insert(idx).second) {
+        err << "frame " << idx << " appears twice in the LRU list";
+        return Status::Internal(err.str());
+      }
+      const Frame& f = shard.frames[idx];
+      if (f.id == kInvalidPageId) {
+        err << "LRU frame " << idx << " holds no page";
+        return Status::Internal(err.str());
+      }
+      auto it = shard.map.find(f.id);
+      if (it == shard.map.end() || it->second != idx) {
+        err << "LRU frame " << idx << " (page " << f.id << ") not in the map";
+        return Status::Internal(err.str());
+      }
     }
-    if (!in_lru.insert(idx).second) {
-      err << "frame " << idx << " appears twice in the LRU list";
+    if (in_lru.size() != shard.map.size()) {
+      err << "LRU size " << in_lru.size() << " != map size "
+          << shard.map.size();
       return Status::Internal(err.str());
     }
-    const Frame& f = frames_[idx];
-    if (f.id == kInvalidPageId) {
-      err << "LRU frame " << idx << " holds no page";
-      return Status::Internal(err.str());
-    }
-    auto it = map_.find(f.id);
-    if (it == map_.end() || it->second != idx) {
-      err << "LRU frame " << idx << " (page " << f.id << ") not in the map";
-      return Status::Internal(err.str());
-    }
-  }
-  if (in_lru.size() != map_.size()) {
-    err << "LRU size " << in_lru.size() << " != map size " << map_.size();
-    return Status::Internal(err.str());
-  }
 
-  // 3. Free frames: empty, clean, unpinned, and disjoint from the LRU.
-  std::unordered_set<size_t> in_free;
-  for (size_t idx : free_frames_) {
-    if (idx >= frames_.size()) {
-      return Status::Internal("free list references a frame past the table");
+    // 3. Free frames: empty, clean, unpinned, and disjoint from the LRU.
+    std::unordered_set<size_t> in_free;
+    for (size_t idx : shard.free_frames) {
+      if (idx >= shard.frames.size()) {
+        err << "free list references a frame past the table";
+        return Status::Internal(err.str());
+      }
+      if (!in_free.insert(idx).second) {
+        err << "frame " << idx << " appears twice in the free list";
+        return Status::Internal(err.str());
+      }
+      const Frame& f = shard.frames[idx];
+      if (f.id != kInvalidPageId || f.dirty || f.pins != 0) {
+        err << "free frame " << idx << " is not empty/clean/unpinned";
+        return Status::Internal(err.str());
+      }
+      if (in_lru.count(idx) != 0) {
+        err << "frame " << idx << " is both free and in the LRU";
+        return Status::Internal(err.str());
+      }
     }
-    if (!in_free.insert(idx).second) {
-      err << "frame " << idx << " appears twice in the free list";
+    if (in_lru.size() + in_free.size() != shard.frames.size()) {
+      err << "frames " << shard.frames.size() << " != LRU " << in_lru.size()
+          << " + free " << in_free.size() << " (orphaned frame)";
       return Status::Internal(err.str());
     }
-    const Frame& f = frames_[idx];
-    if (f.id != kInvalidPageId || f.dirty || f.pins != 0) {
-      err << "free frame " << idx << " is not empty/clean/unpinned";
-      return Status::Internal(err.str());
-    }
-    if (in_lru.count(idx) != 0) {
-      err << "frame " << idx << " is both free and in the LRU";
-      return Status::Internal(err.str());
-    }
-  }
-  if (in_lru.size() + in_free.size() != frames_.size()) {
-    err << "frames " << frames_.size() << " != LRU " << in_lru.size()
-        << " + free " << in_free.size() << " (orphaned frame)";
-    return Status::Internal(err.str());
-  }
 
-  // 4. Incremental counters match a recount.
-  size_t pinned = 0, dirty = 0;
-  for (const Frame& f : frames_) {
-    if (f.pins > 0) ++pinned;
-    if (f.dirty) ++dirty;
-  }
-  if (pinned != pinned_frames_) {
-    err << "pinned-frame counter " << pinned_frames_ << " != recount "
-        << pinned;
-    return Status::Internal(err.str());
-  }
-  if (dirty != dirty_frames_) {
-    err << "dirty-frame counter " << dirty_frames_ << " != recount " << dirty;
-    return Status::Internal(err.str());
-  }
-
-  // 5. Pin leaks: at a quiescent point every Pin must have been Unpinned.
-  if (expect_unpinned && pinned != 0) {
-    err << pinned << " frame(s) still pinned at a quiescent point:";
-    for (const Frame& f : frames_) {
-      if (f.pins > 0) err << " page " << f.id << " (x" << f.pins << ")";
+    // 4. Incremental counters match a recount.
+    size_t pinned = 0, dirty = 0;
+    for (const Frame& f : shard.frames) {
+      if (f.pins > 0) ++pinned;
+      if (f.dirty) ++dirty;
     }
-    return Status::Internal(err.str());
+    if (pinned != shard.pinned_frames) {
+      err << "pinned-frame counter " << shard.pinned_frames
+          << " != recount " << pinned;
+      return Status::Internal(err.str());
+    }
+    if (dirty != shard.dirty_frames) {
+      err << "dirty-frame counter " << shard.dirty_frames << " != recount "
+          << dirty;
+      return Status::Internal(err.str());
+    }
+
+    // 5. Pin leaks: at a quiescent point every Pin must have been Unpinned.
+    if (expect_unpinned && pinned != 0) {
+      err << pinned << " frame(s) still pinned at a quiescent point:";
+      for (const Frame& f : shard.frames) {
+        if (f.pins > 0) err << " page " << f.id << " (x" << f.pins << ")";
+      }
+      return Status::Internal(err.str());
+    }
   }
   return Status::OK();
 }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -19,42 +21,59 @@ struct BufferStats {
   void Reset() { logical_reads = physical_reads = writebacks = 0; }
 };
 
-// LRU page cache over a PageFile. Single-threaded by design (the paper's
-// experiments are sequential); pointers returned by Fetch are valid until
-// the next pool call, unless the page is pinned. This is "the same amount
-// of cache" every index structure is allowed in the paper's evaluation.
+// LRU page cache over a PageFile, safe for N concurrent readers. The frame
+// table is split into shards (pages hash to a shard by id, each shard has
+// its own mutex, LRU list and slice of the capacity), so concurrent
+// fetches of different pages rarely contend. This is still "the same
+// amount of cache" every index structure is allowed in the paper's
+// evaluation: the shard capacities sum to `capacity_pages`. Small pools
+// (below kShardThreshold pages) use a single shard and behave exactly like
+// the classic single-threaded LRU cache.
+//
+// Threading contract:
+//  * Any number of threads may call Fetch / Pin / Unpin concurrently.
+//  * Mutations (FetchMutable, Allocate*, FreePage, Flush, DropCache,
+//    Invalidate) require exclusive access: one writer, no readers. The
+//    tree layer enforces this (builds commit single-threaded; queries are
+//    read-only).
+//  * A pointer returned by Fetch is guaranteed stable only while the
+//    caller holds a pin on the page; unpinned frames may be evicted and
+//    recycled by any other thread's miss.
 //
 // Pinning: Pin(id) keeps the page resident (its frame is never evicted and
-// its bytes never move) until the matching Unpin(id). Pins nest. The node
-// store pins a node's first page while scanning it so the zero-copy
-// EntryView cursors stay valid even if a callback touches the pool, and
-// future concurrent readers will rely on the same discipline. Unpinning a
-// page that is not pinned, or freeing/dropping a pinned page, is a
-// programming error and aborts. AuditPins() is the quiescent-point
-// validator: it cross-checks the frame table, LRU list, free list, pin
-// counts and dirty accounting.
+// its bytes never move) until the matching Unpin(id). Pins nest; the count
+// lives in the frame itself and is manipulated under the shard mutex. The
+// node store pins a node's pages while scanning it so the zero-copy
+// EntryView cursors stay valid even while sibling readers fault pages in
+// and out of the same shard. Unpinning a page that is not pinned, or
+// freeing/dropping a pinned page, is a programming error and aborts.
+// AuditPins() is the quiescent-point validator: it locks every shard and
+// cross-checks the frame tables, LRU lists, free lists, pin counts and
+// dirty accounting.
 class BufferPool {
  public:
   BufferPool(PageFile* file, size_t capacity_pages);
 
   size_t page_size() const { return file_->page_size(); }
   size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
   PageFile* file() const { return file_; }
 
-  // Read access to a page's bytes (through the cache).
+  // Read access to a page's bytes (through the cache). See the threading
+  // contract above for pointer stability.
   const uint8_t* Fetch(PageId id);
 
   // Write access; marks the page dirty. The frame contents are written
-  // back to the PageFile on eviction or Flush.
+  // back to the PageFile on eviction or Flush. Writer-exclusive.
   uint8_t* FetchMutable(PageId id);
 
   // Allocates a fresh page and returns its id; the zeroed frame is cached
-  // and dirty.
+  // and dirty. Writer-exclusive.
   PageId AllocatePage();
   PageId AllocateRun(size_t count);
 
   // Frees a page; drops its frame without write-back. The page must not be
-  // pinned.
+  // pinned. Writer-exclusive.
   void FreePage(PageId id);
 
   // Keeps the page resident (loading it if necessary) until Unpin. Pins
@@ -65,34 +84,36 @@ class BufferPool {
   // (double-unpin detection).
   void Unpin(PageId id);
 
-  // Number of currently pinned frames (not pin nesting depth).
-  size_t pinned_frames() const { return pinned_frames_; }
-  // Number of dirty frames, maintained incrementally (audited against a
-  // recount by AuditPins).
-  size_t dirty_frames() const { return dirty_frames_; }
+  // Number of currently pinned frames (not pin nesting depth), summed over
+  // the shards.
+  size_t pinned_frames() const;
+  // Number of dirty frames, maintained incrementally per shard (audited
+  // against a recount by AuditPins).
+  size_t dirty_frames() const;
 
-  // Writes all dirty frames back.
+  // Writes all dirty frames back. Writer-exclusive.
   void Flush();
 
   // Flush + drop every frame: simulates a cold cache (used before queries
   // so that page-access counts match the paper's cold measurements).
-  // Requires that no page is pinned.
+  // Requires that no page is pinned. Writer-exclusive.
   void DropCache();
 
   // Drops every frame WITHOUT write-back. Only for invalidating the cache
   // after the underlying PageFile was replaced wholesale (persistence).
-  // Requires that no page is pinned.
+  // Requires that no page is pinned. Writer-exclusive.
   void Invalidate();
 
-  // Quiescent-point self-check. Verifies that the frame map, LRU list and
-  // free-frame list exactly partition the frame table, that the
-  // incremental pin/dirty counters match a recount, and (when
+  // Quiescent-point self-check. Verifies per shard that the frame map,
+  // LRU list and free-frame list exactly partition the frame table, that
+  // the incremental pin/dirty counters match a recount, and (when
   // `expect_unpinned`, the default) that every pin has been released --
   // i.e. no pin leaks. Returns OK or a description of the first violation.
   Status AuditPins(bool expect_unpinned = true) const;
 
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  // Aggregated over the shards (each shard counts under its own mutex).
+  BufferStats stats() const;
+  void ResetStats();
 
  private:
   struct Frame {
@@ -103,32 +124,48 @@ class BufferPool {
     std::list<size_t>::iterator lru_it;
   };
 
-  Frame& GetFrame(PageId id, bool load_from_disk);
-  void Touch(size_t frame_idx);
-  size_t EvictOne();
-  void MarkDirty(Frame& f) {
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::vector<Frame> frames;
+    std::list<size_t> lru;  // front = most recent
+    std::unordered_map<PageId, size_t> map;
+    std::vector<size_t> free_frames;
+    size_t pinned_frames = 0;
+    size_t dirty_frames = 0;
+    BufferStats stats;
+  };
+
+  // Pools smaller than this stay single-sharded (exact classic LRU
+  // semantics for the fine-grained unit tests and tiny ad-hoc caches).
+  static constexpr size_t kShardThreshold = 64;
+  static constexpr size_t kMaxShards = 16;
+
+  Shard& ShardOf(PageId id) {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
+  // All helpers below require shard.mu to be held by the caller.
+  Frame& GetFrame(Shard& shard, PageId id, bool load_from_disk);
+  void Touch(Shard& shard, size_t frame_idx);
+  size_t EvictOne(Shard& shard);
+  void MarkDirty(Shard& shard, Frame& f) {
     if (!f.dirty) {
       f.dirty = true;
-      ++dirty_frames_;
+      ++shard.dirty_frames;
     }
   }
-  void ClearDirty(Frame& f) {
+  void ClearDirty(Shard& shard, Frame& f) {
     if (f.dirty) {
       f.dirty = false;
-      NNCELL_CHECK(dirty_frames_ > 0);
-      --dirty_frames_;
+      NNCELL_CHECK(shard.dirty_frames > 0);
+      --shard.dirty_frames;
     }
   }
 
   PageFile* file_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::list<size_t> lru_;  // front = most recent
-  std::unordered_map<PageId, size_t> map_;
-  std::vector<size_t> free_frames_;
-  size_t pinned_frames_ = 0;
-  size_t dirty_frames_ = 0;
-  BufferStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 // RAII pin: pins `id` on construction, unpins on destruction. Move-only.

@@ -33,24 +33,35 @@ void PageFile::Free(PageId id) {
 }
 
 void PageFile::Read(PageId id, uint8_t* out) {
-  ++disk_reads_;
-  ++per_disk_reads_[id % per_disk_reads_.size()];
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++disk_reads_;
+    ++per_disk_reads_[id % per_disk_reads_.size()];
+  }
+  // The page bytes themselves are read without the lock: concurrent reads
+  // of (distinct or identical) pages are safe, and allocation/free only
+  // happens in exclusive-writer phases.
   std::memcpy(out, PagePtr(id), page_size_);
 }
 
 void PageFile::SetDeclustering(size_t disks) {
   NNCELL_CHECK(disks >= 1);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   per_disk_reads_.assign(disks, 0);
 }
 
 uint64_t PageFile::MaxDiskReads() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   uint64_t worst = 0;
   for (uint64_t v : per_disk_reads_) worst = std::max(worst, v);
   return worst;
 }
 
 void PageFile::Write(PageId id, const uint8_t* data) {  // writes not declustered (build-time)
-  ++disk_writes_;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++disk_writes_;
+  }
   std::memcpy(PagePtr(id), data, page_size_);
 }
 

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <vector>
 
 #include "common/check.h"
@@ -45,12 +46,23 @@ class PageFile {
   size_t num_free_pages() const { return free_list_.size(); }
   const std::vector<PageId>& free_pages() const { return free_list_; }
 
+  // Read/Write may be called from several threads at once (the sharded
+  // BufferPool issues cache misses concurrently) as long as the page set
+  // itself is not being allocated or freed at the same time; the access
+  // counters are guarded by an internal mutex.
   void Read(PageId id, uint8_t* out);
   void Write(PageId id, const uint8_t* data);
 
-  uint64_t disk_reads() const { return disk_reads_; }
-  uint64_t disk_writes() const { return disk_writes_; }
+  uint64_t disk_reads() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return disk_reads_;
+  }
+  uint64_t disk_writes() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return disk_writes_;
+  }
   void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     disk_reads_ = disk_writes_ = 0;
     std::fill(per_disk_reads_.begin(), per_disk_reads_.end(), uint64_t{0});
   }
@@ -61,7 +73,10 @@ class PageFile {
   // parallel I/O time of a query is the maximum per-disk read count, not
   // the sum. disks = 1 (default) models a single device.
   void SetDeclustering(size_t disks);
-  size_t disks() const { return per_disk_reads_.size(); }
+  size_t disks() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return per_disk_reads_.size();
+  }
   uint64_t MaxDiskReads() const;
 
   // Persistence: dumps/restores the full page image and free list.
@@ -79,6 +94,7 @@ class PageFile {
   size_t page_size_;
   std::vector<uint8_t> pages_;
   std::vector<PageId> free_list_;
+  mutable std::mutex stats_mu_;  // guards the access counters below
   uint64_t disk_reads_ = 0;
   uint64_t disk_writes_ = 0;
   std::vector<uint64_t> per_disk_reads_ = {0};

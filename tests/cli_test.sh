@@ -23,6 +23,13 @@ PY
 "$CLI" stats "$DIR/idx.nncell" | grep -q "validation:         OK"
 "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" | grep -c "nn id=" | grep -qx 5
 "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --k=3 | grep -qE "query 4: \(.*\) \(.*\) \(.*\)"
+# parallel build must produce a byte-identical index; parallel query the
+# same answers
+"$CLI" build "$DIR/pts.csv" "$DIR/idx4.nncell" --algorithm=sphere --threads=4 | grep -q "built"
+cmp "$DIR/idx.nncell" "$DIR/idx4.nncell"
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" > "$DIR/serial.out"
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --threads=4 > "$DIR/parallel.out"
+cmp "$DIR/serial.out" "$DIR/parallel.out"
 # error paths
 ! "$CLI" stats /nonexistent.idx 2>/dev/null
 ! "$CLI" frobnicate 2>/dev/null

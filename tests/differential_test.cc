@@ -1,0 +1,242 @@
+// Differential oracle suite: the no-false-dismissal guarantee (Lemma 2)
+// as an executable property. Every configuration of the index -- all four
+// approximation algorithms, several dimensionalities and seeds, weighted
+// metrics, decomposition, and post-insert/delete states -- must return
+// exactly the nearest neighbor the SequentialScan baseline finds, because
+// the scan IS the definition of correctness the paper's Lemma 2 promises
+// to preserve.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/point_set.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "nncell/nncell_index.h"
+#include "scan/sequential_scan.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace nncell {
+namespace {
+
+struct IndexUnderTest {
+  std::unique_ptr<PageFile> file;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<NNCellIndex> index;
+};
+
+IndexUnderTest MakeIndex(size_t dim, const NNCellOptions& options) {
+  IndexUnderTest t;
+  t.file = std::make_unique<PageFile>(2048);
+  t.pool = std::make_unique<BufferPool>(t.file.get(), 512);
+  t.index = std::make_unique<NNCellIndex>(t.pool.get(), dim, options);
+  return t;
+}
+
+struct ScanOracle {
+  std::unique_ptr<PageFile> file;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<SequentialScan> scan;
+};
+
+// Oracle over the live points of `index`, in the same (possibly weighted)
+// metric space the index searches internally: SequentialScan is plain
+// Euclidean, so it scans the metric-transformed coordinates and its
+// distances are directly comparable to QueryResult::dist.
+ScanOracle MakeOracle(const NNCellIndex& index) {
+  ScanOracle o;
+  o.file = std::make_unique<PageFile>(2048);
+  o.pool = std::make_unique<BufferPool>(o.file.get(), 512);
+  o.scan = std::make_unique<SequentialScan>(o.pool.get(), index.dim());
+  for (uint64_t id = 0; id < index.points().size(); ++id) {
+    if (index.IsAlive(id)) o.scan->Insert(index.points()[id], id);
+  }
+  return o;
+}
+
+std::vector<double> ToMetric(const std::vector<double>& q,
+                             const std::vector<double>& weights) {
+  std::vector<double> m = q;
+  for (size_t i = 0; i < weights.size(); ++i) m[i] *= std::sqrt(weights[i]);
+  return m;
+}
+
+// One differential probe: the index answer must match the scan answer in
+// distance exactly (both compute sqrt of an exact double sum; ties may
+// legitimately resolve to different ids at equal distance).
+void ExpectSameNearest(const NNCellIndex& index, const SequentialScan& scan,
+                       const std::vector<double>& q) {
+  auto got = index.Query(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  SequentialScan::Result want =
+      scan.NearestNeighbor(ToMetric(q, index.options().weights).data());
+  EXPECT_NEAR(got->dist, want.dist, 1e-9)
+      << "index returned id " << got->id << ", scan id " << want.id;
+  EXPECT_TRUE(index.IsAlive(got->id));
+}
+
+struct DiffCase {
+  ApproxAlgorithm algorithm;
+  size_t dim;
+  uint64_t seed;
+};
+
+std::string CaseName(const testing::TestParamInfo<DiffCase>& info) {
+  std::string name = ApproxAlgorithmName(info.param.algorithm);
+  // gtest parameter names must be alphanumeric ("NN-Direction" is not).
+  name.erase(std::remove_if(name.begin(), name.end(),
+                            [](unsigned char ch) { return !std::isalnum(ch); }),
+             name.end());
+  return name + "_d" + std::to_string(info.param.dim) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class DifferentialTest : public testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, QueryMatchesSequentialScan) {
+  const DiffCase& c = GetParam();
+  // Smaller sets in high d keep the kCorrect (all-pairs LP) cases fast.
+  const size_t n = c.dim <= 4 ? 130 : (c.dim <= 8 ? 90 : 60);
+
+  NNCellOptions options;
+  options.algorithm = c.algorithm;
+  IndexUnderTest t = MakeIndex(c.dim, options);
+  PointSet pts = GenerateUniform(n, c.dim, c.seed);
+  ASSERT_TRUE(t.index->BulkBuild(pts).ok());
+
+  ScanOracle oracle = MakeOracle(*t.index);
+  Rng rng(c.seed ^ 0xd1ffe7);
+  std::vector<double> q(c.dim);
+  for (size_t i = 0; i < 40; ++i) {
+    for (auto& v : q) v = rng.NextDouble();
+    ExpectSameNearest(*t.index, *oracle.scan, q);
+  }
+}
+
+TEST_P(DifferentialTest, StaysExactAcrossInsertsAndDeletes) {
+  const DiffCase& c = GetParam();
+  const size_t n = c.dim <= 4 ? 100 : 60;
+
+  NNCellOptions options;
+  options.algorithm = c.algorithm;
+  IndexUnderTest t = MakeIndex(c.dim, options);
+  PointSet pts = GenerateUniform(n, c.dim, c.seed);
+  ASSERT_TRUE(t.index->BulkBuild(pts).ok());
+
+  // Dynamic churn: a wave of inserts, then a wave of deletes (every 4th
+  // original point), leaving a state no precomputation ever saw.
+  Rng rng(c.seed ^ 0xc0ffee);
+  std::vector<double> p(c.dim);
+  for (size_t i = 0; i < 12; ++i) {
+    for (auto& v : p) v = rng.NextDouble();
+    auto id = t.index->Insert(p);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  for (uint64_t id = 0; id < n; id += 4) {
+    ASSERT_TRUE(t.index->Delete(id).ok());
+  }
+  ASSERT_TRUE(t.index->CheckInvariants(25, c.seed).ok());
+
+  ScanOracle oracle = MakeOracle(*t.index);
+  std::vector<double> q(c.dim);
+  for (size_t i = 0; i < 30; ++i) {
+    for (auto& v : q) v = rng.NextDouble();
+    ExpectSameNearest(*t.index, *oracle.scan, q);
+  }
+}
+
+std::vector<DiffCase> AllCases() {
+  std::vector<DiffCase> cases;
+  for (ApproxAlgorithm a :
+       {ApproxAlgorithm::kCorrect, ApproxAlgorithm::kPoint,
+        ApproxAlgorithm::kSphere, ApproxAlgorithm::kNNDirection}) {
+    for (size_t dim : {2u, 4u, 8u, 16u}) {
+      for (uint64_t seed : {7u, 1234u}) {
+        cases.push_back({a, dim, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DifferentialTest,
+                         testing::ValuesIn(AllCases()), CaseName);
+
+// Weighted metrics ride the same isometry argument: the index searches in
+// sqrt(w)-scaled space, so an oracle scanning the scaled coordinates must
+// agree on every weighted distance.
+TEST(DifferentialWeightedTest, WeightedQueryMatchesScaledScan) {
+  for (size_t dim : {2u, 8u}) {
+    NNCellOptions options;
+    options.algorithm = ApproxAlgorithm::kSphere;
+    options.weights.resize(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      options.weights[i] = 0.25 + 1.5 * static_cast<double>(i % 4);
+    }
+    IndexUnderTest t = MakeIndex(dim, options);
+    PointSet pts = GenerateUniform(120, dim, 99);
+    ASSERT_TRUE(t.index->BulkBuild(pts).ok());
+
+    ScanOracle oracle = MakeOracle(*t.index);
+    Rng rng(0x3e1f);
+    std::vector<double> q(dim);
+    for (size_t i = 0; i < 40; ++i) {
+      for (auto& v : q) v = rng.NextDouble();
+      ExpectSameNearest(*t.index, *oracle.scan, q);
+    }
+  }
+}
+
+// Decomposed approximations (Section 3) must not cost exactness either.
+TEST(DifferentialDecompositionTest, DecomposedCellsStayExact) {
+  NNCellOptions options;
+  options.algorithm = ApproxAlgorithm::kSphere;
+  options.decomposition.max_partitions = 4;
+  IndexUnderTest t = MakeIndex(6, options);
+  PointSet pts = GenerateUniform(150, 6, 2024);
+  ASSERT_TRUE(t.index->BulkBuild(pts).ok());
+
+  ScanOracle oracle = MakeOracle(*t.index);
+  Rng rng(0xdec0);
+  std::vector<double> q(6);
+  for (size_t i = 0; i < 40; ++i) {
+    for (auto& v : q) v = rng.NextDouble();
+    ExpectSameNearest(*t.index, *oracle.scan, q);
+  }
+}
+
+// QueryBatch is defined as "identical to a serial loop of Query calls";
+// hold it to that, including against the oracle.
+TEST(DifferentialBatchTest, BatchEqualsSerialAndOracle) {
+  NNCellOptions options;
+  options.algorithm = ApproxAlgorithm::kSphere;
+  options.parallel.num_threads = 4;
+  IndexUnderTest t = MakeIndex(8, options);
+  PointSet pts = GenerateUniform(200, 8, 5);
+  ASSERT_TRUE(t.index->BulkBuild(pts).ok());
+
+  PointSet queries = GenerateQueries(60, 8, 6);
+  auto batch = t.index->QueryBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+
+  ScanOracle oracle = MakeOracle(*t.index);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto serial = t.index->Query(queries[i]);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ((*batch)[i].id, serial->id);
+    EXPECT_EQ((*batch)[i].dist, serial->dist);
+    SequentialScan::Result want = oracle.scan->NearestNeighbor(queries[i]);
+    EXPECT_NEAR((*batch)[i].dist, want.dist, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nncell

@@ -1,9 +1,13 @@
 // nncell_cli -- command-line front end for the NN-cell index.
 //
 //   nncell_cli build  <points.csv> <index.nncell> [--algorithm=sphere]
-//                     [--decompose=K] [--xtree=0|1]
-//   nncell_cli query  <index.nncell> <queries.csv> [--k=1]
+//                     [--decompose=K] [--xtree=0|1] [--threads=N]
+//   nncell_cli query  <index.nncell> <queries.csv> [--k=1] [--threads=N]
 //   nncell_cli stats  <index.nncell>
+//
+// --threads=N runs the build's LP solves / the query batch on N worker
+// threads (0 = one per hardware core). The built index is byte-identical
+// for every thread count.
 //
 // CSV files contain one point per line, comma-separated coordinates in
 // [0,1]. Lines starting with '#' are skipped. The build command prints
@@ -103,6 +107,9 @@ int Build(int argc, char** argv) {
   if (const char* x = FlagValue(argc, argv, "--xtree")) {
     options.use_xtree = std::atoi(x) != 0;
   }
+  if (const char* t = FlagValue(argc, argv, "--threads")) {
+    options.parallel.num_threads = std::strtoul(t, nullptr, 10);
+  }
 
   PageFile file(4096);
   BufferPool pool(&file, 4096);
@@ -153,6 +160,26 @@ int Query(int argc, char** argv) {
   size_t k = 1;
   if (const char* kv = FlagValue(argc, argv, "--k")) {
     k = std::strtoul(kv, nullptr, 10);
+  }
+  size_t threads = 1;
+  if (const char* t = FlagValue(argc, argv, "--threads")) {
+    threads = std::strtoul(t, nullptr, 10);
+    (*index)->SetNumThreads(threads);
+  }
+  if (k == 1 && (threads == 0 || threads > 1)) {
+    // Batched answer path: results are identical to the serial loop below,
+    // computed by concurrent readers.
+    auto results = (*index)->QueryBatch(*queries);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < results->size(); ++i) {
+      const auto& r = (*results)[i];
+      std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu\n", i,
+                  static_cast<unsigned long long>(r.id), r.dist, r.candidates);
+    }
+    return 0;
   }
   for (size_t i = 0; i < queries->size(); ++i) {
     if (k == 1) {
@@ -217,8 +244,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nncell_cli <build|query|stats> ...\n"
                  "  build <points.csv> <out.nncell> [--algorithm=A]"
-                 " [--decompose=K] [--xtree=0|1]\n"
-                 "  query <index.nncell> <queries.csv> [--k=N]\n"
+                 " [--decompose=K] [--xtree=0|1] [--threads=N]\n"
+                 "  query <index.nncell> <queries.csv> [--k=N] [--threads=N]\n"
                  "  stats <index.nncell>\n");
     return 2;
   }
