@@ -31,6 +31,7 @@ nncell_add_fig(ablation_maintenance)
 nncell_add_fig(extension_knn)
 nncell_add_fig(model_vs_measured)
 nncell_add_fig(extension_parallel)
+nncell_add_fig(bench_regress)
 target_link_libraries(model_vs_measured PRIVATE nncell_model)
 
 foreach(micro micro_lp micro_trees)

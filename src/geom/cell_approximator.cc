@@ -20,21 +20,56 @@ const char* ApproxAlgorithmName(ApproxAlgorithm a) {
   return "?";
 }
 
+namespace {
+
+// Per-thread pipeline scratch: the face-solve session (packed problem,
+// solver workspace, warm chain, phase-I system), the pruner, and the
+// objective vector. One high-water allocation per worker thread; warm
+// state is reset per cell, so results stay a pure function of the cell.
+struct ApproxScratch {
+  FaceSolveSession session;
+  BisectorPruner pruner;
+  std::vector<double> c;
+};
+
+ApproxScratch& LocalScratch() {
+  thread_local ApproxScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 CellApproximator::CellApproximator(size_t dim, HyperRect space,
-                                   LpOptions lp_opts)
-    : dim_(dim), space_(std::move(space)), solver_(lp_opts) {
+                                   LpOptions lp_opts,
+                                   CellApproxOptions approx_opts)
+    : dim_(dim),
+      space_(std::move(space)),
+      lp_opts_(lp_opts),
+      approx_opts_(approx_opts) {
   NNCELL_CHECK(space_.dim() == dim_);
 }
 
-HyperRect CellApproximator::SolveMbr(const LpProblem& problem,
-                                     const std::vector<double>& start,
-                                     ApproxStats* stats) const {
+HyperRect CellApproximator::SolveFaces(FaceSolveSession& session,
+                                       const LpProblem& problem,
+                                       const std::vector<double>& start,
+                                       ApproxStats* stats) const {
   HyperRect mbr = HyperRect::Empty(dim_);
-  std::vector<double> c(dim_, 0.0);
+  std::vector<double>& c = LocalScratch().c;
+  c.assign(dim_, 0.0);
+  auto count_face = [stats](FaceSolveSession::FaceKind kind) {
+    if (!stats) return;
+    switch (kind) {
+      case FaceSolveSession::FaceKind::kSkipped: ++stats->skipped_faces; break;
+      case FaceSolveSession::FaceKind::kWarm: ++stats->warm_faces; break;
+      case FaceSolveSession::FaceKind::kCold: ++stats->cold_faces; break;
+    }
+  };
   for (size_t i = 0; i < dim_; ++i) {
     c[i] = 1.0;
-    LpResult up = solver_.Maximize(problem, c, start);
-    LpResult dn = solver_.Minimize(problem, c, start);
+    LpResult up = session.SolveFace(problem, c, i, /*maximize=*/true, start);
+    count_face(session.last_face_kind());
+    LpResult dn = session.SolveFace(problem, c, i, /*maximize=*/false, start);
+    count_face(session.last_face_kind());
     // Debug builds re-verify every face value independently (feasibility +
     // KKT); a wrong face only enlarges the MBR, which nothing downstream
     // would ever notice (Lemma 1) until it causes a false dismissal.
@@ -63,29 +98,65 @@ HyperRect CellApproximator::SolveMbr(const LpProblem& problem,
   return mbr;
 }
 
+HyperRect CellApproximator::SolveMbr(const LpProblem& problem,
+                                     const std::vector<double>& start,
+                                     ApproxStats* stats) const {
+  FaceSolveSession& session = LocalScratch().session;
+  session.set_options(lp_opts_);
+  session.BeginCell(approx_opts_.warm_start);
+  session.PrepareFaces(problem, start);  // no-op when warm starts are off
+  return SolveFaces(session, problem, start, stats);
+}
+
 HyperRect CellApproximator::ApproximateMbr(
     const double* owner, const std::vector<const double*>& candidates,
     ApproxStats* stats) const {
-  LpProblem problem = BuildCellProblem(owner, candidates, dim_, space_);
-  if (stats) stats->constraint_rows += candidates.size();
-  std::vector<double> start(owner, owner + dim_);
+  ApproxScratch& sc = LocalScratch();
+  LpProblem& problem = sc.session.problem();
+  problem.Reset(dim_);
+  size_t pruned = 0;
+  if (approx_opts_.prune_bisectors) {
+    pruned = sc.pruner.BuildPruned(owner, candidates, dim_, space_, &problem);
+  } else {
+    BuildCellProblemInto(owner, candidates, dim_, space_, &problem);
+  }
+  if (stats) {
+    stats->constraint_rows += candidates.size() - pruned;
+    stats->pruned_rows += pruned;
+  }
+  std::vector<double>& start = sc.session.start_buffer();
+  start.assign(owner, owner + dim_);
   return SolveMbr(problem, start, stats);
 }
 
 HyperRect CellApproximator::ApproximateClippedMbr(
     const double* owner, const std::vector<const double*>& candidates,
     const HyperRect& clip, ApproxStats* stats) const {
-  LpProblem problem = BuildCellProblem(owner, candidates, dim_, space_);
+  ApproxScratch& sc = LocalScratch();
+  LpProblem& problem = sc.session.problem();
+  problem.Reset(dim_);
+  size_t pruned = 0;
+  if (approx_opts_.prune_bisectors) {
+    pruned = sc.pruner.BuildPruned(owner, candidates, dim_, space_, &problem,
+                                   &clip);
+  } else {
+    BuildCellProblemInto(owner, candidates, dim_, space_, &problem);
+  }
   problem.AddBoxConstraints(clip);
-  if (stats) stats->constraint_rows += candidates.size();
+  if (stats) {
+    stats->constraint_rows += candidates.size() - pruned;
+    stats->pruned_rows += pruned;
+  }
 
   // The owner is feasible for its cell but maybe not for the clip box:
   // clamp it into the box as a phase-I hint.
-  std::vector<double> hint(owner, owner + dim_);
+  std::vector<double>& hint = sc.session.start_buffer();
+  hint.assign(owner, owner + dim_);
   for (size_t i = 0; i < dim_; ++i) {
     hint[i] = std::clamp(hint[i], clip.lo(i), clip.hi(i));
   }
-  StatusOr<std::vector<double>> start = FindFeasiblePoint(problem, hint);
+  StatusOr<std::vector<double>> start = FindFeasiblePoint(
+      problem, hint, LpOptions(), &sc.session.phase_one_scratch());
   if (!start.ok()) return HyperRect::Empty(dim_);  // empty slice
   return SolveMbr(problem, start.value(), stats);
 }

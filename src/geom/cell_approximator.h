@@ -7,6 +7,7 @@
 #include "common/hyper_rect.h"
 #include "common/point_set.h"
 #include "lp/active_set_solver.h"
+#include "lp/face_solve_session.h"
 #include "lp/lp_problem.h"
 
 namespace nncell {
@@ -23,13 +24,32 @@ enum class ApproxAlgorithm { kCorrect, kPoint, kSphere, kNNDirection };
 
 const char* ApproxAlgorithmName(ApproxAlgorithm a);
 
+// Build-pipeline knobs of the LP hot path. Both default on; both preserve
+// the computed MBRs (pruning keeps the feasible region identical, warm
+// starting only changes the path the solver walks to the same optimum) and
+// exist as flags for A/B benchmarks and differential tests against the
+// cold pipeline.
+struct CellApproxOptions {
+  // Drop bisector rows that provably cannot touch the cell before any LP
+  // runs (BisectorPruner).
+  bool prune_bisectors = true;
+  // Run the per-cell axis ray-shoot (FaceSolveSession::PrepareFaces): one
+  // matrix pass that certifies box-capped faces outright (no LP) and
+  // warm-starts the remaining faces at their first blocking row.
+  bool warm_start = true;
+};
+
 // Aggregate counters filled by the approximator (for Fig. 4a style
 // reporting and debugging).
 struct ApproxStats {
   size_t lp_runs = 0;
   size_t lp_iterations = 0;
   size_t lp_failures = 0;      // faces that fell back to the space bound
-  size_t constraint_rows = 0;  // total bisector rows over all LP systems
+  size_t constraint_rows = 0;  // bisector rows that entered LP systems
+  size_t pruned_rows = 0;      // bisector rows discarded before any LP ran
+  size_t skipped_faces = 0;    // faces certified by the ray-shoot (no LP)
+  size_t warm_faces = 0;       // face solves warm-started at the ray hit
+  size_t cold_faces = 0;       // face solves started cold
 };
 
 // Computes MBR approximations of NN-cells by running 2d linear programs per
@@ -37,10 +57,12 @@ struct ApproxStats {
 class CellApproximator {
  public:
   explicit CellApproximator(size_t dim, HyperRect space,
-                            LpOptions lp_opts = LpOptions());
+                            LpOptions lp_opts = LpOptions(),
+                            CellApproxOptions approx_opts = CellApproxOptions());
 
   const HyperRect& space() const { return space_; }
   size_t dim() const { return dim_; }
+  const CellApproxOptions& approx_options() const { return approx_opts_; }
 
   // MBR of the cell of `owner` induced by the candidate constraint points.
   // `owner` must be distinct from every candidate. Faces whose LP fails
@@ -61,9 +83,16 @@ class CellApproximator {
                      ApproxStats* stats) const;
 
  private:
+  // Runs the 2d face solves over `problem` on a session that BeginCell()
+  // was already called on, assembling the MBR.
+  HyperRect SolveFaces(FaceSolveSession& session, const LpProblem& problem,
+                       const std::vector<double>& start,
+                       ApproxStats* stats) const;
+
   size_t dim_;
   HyperRect space_;
-  ActiveSetSolver solver_;
+  LpOptions lp_opts_;
+  CellApproxOptions approx_opts_;
 };
 
 // Candidate selectors that need no index structure (pure scans); the

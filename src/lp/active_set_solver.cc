@@ -28,9 +28,11 @@ void InsertSorted(std::vector<size_t>& v, size_t value) {
 
 ActiveSetSolver::ActiveSetSolver(LpOptions opts) : opts_(opts) {}
 
-LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
-                                   const std::vector<double>& c,
-                                   const std::vector<double>& x0) const {
+LpResult ActiveSetSolver::Run(const LpProblem& problem,
+                              const std::vector<double>& c,
+                              const std::vector<double>& x0,
+                              const std::vector<size_t>* warm_active,
+                              LpScratch& scratch, const double* sx0) const {
   const size_t d = problem.dim();
   const size_t m = problem.num_constraints();
   NNCELL_CHECK(c.size() == d);
@@ -46,21 +48,76 @@ LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
   result.x = x0;
   std::vector<double>& x = result.x;
 
+  // Row products a_i . x, maintained incrementally across iterations (one
+  // axpy per step instead of a full pass) and refreshed from the matrix
+  // periodically to cap drift.
+  std::vector<double>& sx = scratch.sx;
+  std::vector<double>& sp = scratch.sp;
+  sx.resize(m);
+  sp.resize(m);
+  if (sx0 != nullptr) {
+    std::copy(sx0, sx0 + m, sx.data());
+  } else {
+    MatVec(problem.matrix(), m, d, x.data(), sx.data());
+  }
+
   // Feasibility of the start (allow tolerance-level violation).
   const double feas_tol = 1e-7;
-  if (problem.MaxViolation(x.data()) > feas_tol) {
+  double violation = -kInf;
+  for (size_t i = 0; i < m; ++i) {
+    violation = std::max(violation, sx[i] - problem.rhs(i));
+  }
+  if (m > 0 && violation > feas_tol) {
     result.status = LpStatus::kInfeasibleStart;
     result.objective = Dot(c.data(), x.data(), d);
     return result;
   }
 
-  std::vector<size_t> active;  // sorted working set (independent rows)
-  std::vector<double> basis;   // orthonormal basis of active rows
-  std::vector<double> p(d);    // search direction
+  std::vector<size_t>& active = scratch.active;  // sorted working set
+  std::vector<double>& basis = scratch.basis;  // orthonormal basis of rows
+  std::vector<double>& p = scratch.p;          // search direction
+  active.clear();
+  p.resize(d);
 
   // Scratch for the multiplier system.
-  std::vector<double> gram, rhs;
-  std::vector<const double*> rows;
+  std::vector<double>& gram = scratch.gram;
+  std::vector<double>& rhs = scratch.rhs;
+  std::vector<const double*>& rows = scratch.rows;
+
+  // Seed the working set from the hint: keep rows that are tight at x0 and
+  // linearly independent of the rows already kept (incremental MGS against
+  // the basis built so far). A stale or foreign hint degrades to a cold
+  // start row by row instead of corrupting the walk.
+  if (warm_active != nullptr && !warm_active->empty()) {
+    basis.clear();
+    std::vector<double>& v = scratch.warm_v;  // MGS residual buffer
+    v.resize(d);
+    size_t rank = 0;
+    for (size_t i : *warm_active) {
+      if (i >= m) continue;
+      const double* ai = problem.row(i);
+      double row_scale = std::max(1.0, std::abs(problem.rhs(i)));
+      if (std::abs(sx[i] - problem.rhs(i)) > 1e-8 * row_scale) continue;
+      if (rank == d) break;
+      std::copy(ai, ai + d, v.begin());
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t q = 0; q < rank; ++q) {
+          const double* bq = basis.data() + q * d;
+          double proj = Dot(v.data(), bq, d);
+          for (size_t k = 0; k < d; ++k) v[k] -= proj * bq[k];
+        }
+      }
+      // Stricter than the 1e-10 of OrthonormalBasis: rows admitted here
+      // must stay independent under the per-iteration re-orthogonalization.
+      double norm = std::sqrt(L2NormSq(v.data(), d));
+      if (norm < 1e-8) continue;
+      double inv = 1.0 / norm;
+      for (size_t k = 0; k < d; ++k) v[k] *= inv;
+      basis.insert(basis.end(), v.begin(), v.end());
+      ++rank;
+      InsertSorted(active, i);
+    }
+  }
 
   for (size_t iter = 0; iter < max_iter; ++iter) {
     result.iterations = iter + 1;
@@ -118,7 +175,13 @@ LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
       continue;
     }
 
-    // Ratio test: largest step alpha with x + alpha p feasible.
+    // Ratio test: largest step alpha with x + alpha p feasible. One
+    // streaming pass computes every a_i . p; slacks come from the
+    // maintained sx cache.
+    MatVec(problem.matrix(), m, d, p.data(), sp.data());
+    if ((iter & 31u) == 31u) {
+      MatVec(problem.matrix(), m, d, x.data(), sx.data());  // drift refresh
+    }
     double alpha = kInf;
     size_t blocker = m;  // sentinel
     {
@@ -128,10 +191,9 @@ LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
           ++w;
           continue;
         }
-        const double* ai = problem.row(i);
-        double s = Dot(ai, p.data(), d);
+        double s = sp[i];
         if (s <= dir_tol) continue;  // not blocking along p
-        double slack = problem.rhs(i) - Dot(ai, x.data(), d);
+        double slack = problem.rhs(i) - sx[i];
         double a = std::max(0.0, slack) / s;
         // Bland's rule: strict improvement, or equal step with smaller
         // index, keeps the method from cycling on degenerate vertices.
@@ -150,6 +212,7 @@ LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
 
     if (alpha > 0.0) {
       for (size_t i = 0; i < d; ++i) x[i] += alpha * p[i];
+      Axpy(alpha, sp.data(), sx.data(), m);
     }
     InsertSorted(active, blocker);
   }
@@ -181,52 +244,91 @@ LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
     }
   }
 
+  if (result.status == LpStatus::kOptimal) result.active = active;
   result.objective = Dot(c.data(), x.data(), d);
   return result;
+}
+
+LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
+                                   const std::vector<double>& c,
+                                   const std::vector<double>& x0) const {
+  LpScratch scratch;
+  return Run(problem, c, x0, nullptr, scratch, nullptr);
+}
+
+LpResult ActiveSetSolver::Maximize(const LpProblem& problem,
+                                   const std::vector<double>& c,
+                                   const std::vector<double>& x0,
+                                   const std::vector<size_t>* warm_active,
+                                   LpScratch* scratch,
+                                   const double* sx0) const {
+  if (scratch != nullptr) {
+    return Run(problem, c, x0, warm_active, *scratch, sx0);
+  }
+  LpScratch local;
+  return Run(problem, c, x0, warm_active, local, sx0);
 }
 
 LpResult ActiveSetSolver::Minimize(const LpProblem& problem,
                                    const std::vector<double>& c,
                                    const std::vector<double>& x0) const {
-  std::vector<double> neg(c.size());
+  return Minimize(problem, c, x0, nullptr, nullptr);
+}
+
+LpResult ActiveSetSolver::Minimize(const LpProblem& problem,
+                                   const std::vector<double>& c,
+                                   const std::vector<double>& x0,
+                                   const std::vector<size_t>* warm_active,
+                                   LpScratch* scratch,
+                                   const double* sx0) const {
+  LpScratch local;
+  LpScratch& sc = scratch != nullptr ? *scratch : local;
+  std::vector<double>& neg = sc.neg_c;
+  neg.resize(c.size());
   for (size_t i = 0; i < c.size(); ++i) neg[i] = -c[i];
-  LpResult r = Maximize(problem, neg, x0);
+  LpResult r = Run(problem, neg, x0, warm_active, sc, sx0);
   r.objective = -r.objective;
   return r;
 }
 
 StatusOr<std::vector<double>> FindFeasiblePoint(const LpProblem& problem,
                                                 const std::vector<double>& hint,
-                                                const LpOptions& opts) {
+                                                const LpOptions& opts,
+                                                PhaseOneScratch* scratch) {
   const size_t d = problem.dim();
   NNCELL_CHECK(hint.size() == d);
 
   // Fast path: the hint itself is feasible.
   if (problem.MaxViolation(hint.data()) <= 0.0) return hint;
 
+  PhaseOneScratch local;
+  PhaseOneScratch& sc = scratch != nullptr ? *scratch : local;
+
   // Extended LP over (x, t): minimize t s.t. a_i.x - t <= b_i, -t <= 1.
-  LpProblem ext(d + 1);
+  LpProblem& ext = sc.ext;
+  ext.Reset(d + 1);
   ext.Reserve(problem.num_constraints() + 1);
-  std::vector<double> row(d + 1);
   for (size_t i = 0; i < problem.num_constraints(); ++i) {
     const double* ai = problem.row(i);
-    std::copy(ai, ai + d, row.begin());
+    double* row = ext.AppendRow(problem.rhs(i));
+    std::copy(ai, ai + d, row);
     row[d] = -1.0;
-    ext.AddConstraint(row, problem.rhs(i));
   }
-  std::fill(row.begin(), row.end(), 0.0);
-  row[d] = -1.0;
-  ext.AddConstraint(row, 1.0);  // t >= -1 keeps the LP bounded
+  double* last = ext.AppendRow(1.0);  // t >= -1 keeps the LP bounded
+  std::fill(last, last + d, 0.0);
+  last[d] = -1.0;
 
-  std::vector<double> start(d + 1);
+  std::vector<double>& start = sc.start;
+  start.assign(d + 1, 0.0);
   std::copy(hint.begin(), hint.end(), start.begin());
   start[d] = std::max(0.0, problem.MaxViolation(hint.data())) + 1.0;
 
-  std::vector<double> c(d + 1, 0.0);
+  std::vector<double>& c = sc.c;
+  c.assign(d + 1, 0.0);
   c[d] = 1.0;
 
   ActiveSetSolver solver(opts);
-  LpResult r = solver.Minimize(ext, c, start);
+  LpResult r = solver.Minimize(ext, c, start, nullptr, &sc.lp);
   if (r.status != LpStatus::kOptimal) {
     return Status::Internal("phase-I LP did not converge");
   }

@@ -8,12 +8,24 @@ namespace nncell {
 
 // Small dense linear algebra used by the active-set LP solver. Problem
 // dimensions are tiny (<= ~33), so simple Gaussian elimination with partial
-// pivoting is both fast and adequate.
+// pivoting is both fast and adequate. The hot path, however, streams a
+// packed m x d constraint matrix with m up to N-1 bisector rows, so the
+// matrix-vector kernels below are written to vectorize: contiguous
+// row-major input, no per-row indirection, independent accumulator chains.
 
 // Solves the k x k system M y = r in place. M is row-major and is
 // destroyed. Returns false when M is (numerically) singular.
 bool SolveLinearSystem(std::vector<double>& m, std::vector<double>& r,
                        size_t k, double pivot_tol = 1e-12);
+
+// y[i] = a[i] . x for every row i of the packed row-major m x d matrix
+// `a`. This is the active-set solver's per-iteration ratio-test kernel:
+// one streaming pass over the constraint matrix instead of m separate
+// Dot() calls.
+void MatVec(const double* a, size_t m, size_t d, const double* x, double* y);
+
+// y[i] += alpha * x[i] for i in [0, n).
+void Axpy(double alpha, const double* x, double* y, size_t n);
 
 // Computes an orthonormal basis (modified Gram-Schmidt) of the span of the
 // given k row vectors of length d. Output is packed row-major; returns the

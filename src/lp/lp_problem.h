@@ -30,6 +30,16 @@ class LpProblem {
     AddConstraint(a.data(), b);
   }
 
+  // Appends an uninitialized row with right-hand side b and returns the
+  // pointer to its dim() coefficients, to be filled by the caller. Lets
+  // row builders (bisectors) write straight into the packed matrix instead
+  // of staging each row in a temporary vector.
+  double* AppendRow(double b) {
+    b_.push_back(b);
+    a_.resize(a_.size() + dim_);
+    return a_.data() + (b_.size() - 1) * dim_;
+  }
+
   // Adds 2d rows bounding x to the rectangle: x_i <= hi_i and -x_i <= -lo_i.
   void AddBoxConstraints(const HyperRect& box);
 
@@ -46,6 +56,10 @@ class LpProblem {
   // Max violation of x over all constraints (<= 0 means feasible).
   double MaxViolation(const double* x) const;
 
+  // The packed num_constraints x dim row-major constraint matrix, for
+  // streaming kernels (lp::MatVec) over all rows at once.
+  const double* matrix() const { return a_.data(); }
+
   void Reserve(size_t rows) {
     a_.reserve(rows * dim_);
     b_.reserve(rows);
@@ -53,6 +67,13 @@ class LpProblem {
   void Clear() {
     a_.clear();
     b_.clear();
+  }
+  // Re-targets the problem to a new dimension, dropping all rows but
+  // keeping the allocated capacity (session scratch reuse across cells).
+  void Reset(size_t dim) {
+    NNCELL_CHECK(dim > 0);
+    dim_ = dim;
+    Clear();
   }
 
  private:

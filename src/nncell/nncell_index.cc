@@ -38,7 +38,7 @@ NNCellIndex::NNCellIndex(BufferPool* pool, size_t dim, NNCellOptions options)
       options_(options),
       space_(MetricSpaceBox(dim, options.weights)),
       points_(dim),
-      approximator_(dim, space_, options.lp) {
+      approximator_(dim, space_, options.lp, options.approx) {
   TreeOptions tree_opts = options_.tree;
   tree_opts.dim = dim;
   // Leaf entries are (approximation rectangle, point id); like the paper,
@@ -363,6 +363,10 @@ Status NNCellIndex::BulkBuild(const PointSet& pts) {
       build_stats_.approx.lp_iterations += s.lp_iterations;
       build_stats_.approx.lp_failures += s.lp_failures;
       build_stats_.approx.constraint_rows += s.constraint_rows;
+      build_stats_.approx.pruned_rows += s.pruned_rows;
+      build_stats_.approx.skipped_faces += s.skipped_faces;
+      build_stats_.approx.warm_faces += s.warm_faces;
+      build_stats_.approx.cold_faces += s.cold_faces;
     }
     for (size_t i = 0; i < ids.size(); ++i) {
       const uint64_t id = ids[i];

@@ -79,6 +79,11 @@ struct NNCellOptions {
 
   LpOptions lp;
 
+  // LP hot-path pipeline knobs (bisector pre-pruning, warm-started face
+  // solves). Runtime-only like `lp`: both settings yield the same MBRs, so
+  // neither is part of the persisted image.
+  CellApproxOptions approx;
+
   // Threading for BulkBuild / QueryBatch. Purely a runtime knob: the
   // built index is byte-identical for every thread count, so it is not
   // part of the persisted image.

@@ -98,9 +98,34 @@ size_t RTreeCore::ChooseSubtree(const Node& node, const HyperRect& rect,
   size_t best = 0;
   if (children_are_leaves) {
     // Minimal overlap enlargement (ties: area enlargement, then area).
+    // The full scan is O(n^2) overlap computations; on X-tree supernodes
+    // (n in the hundreds) that dominates bulk builds, so for large nodes
+    // only the kOverlapCandidates entries of least area enlargement enter
+    // the overlap test -- the optimization proposed with the original
+    // R*-tree -- each still scored against every sibling.
+    constexpr size_t kOverlapCandidates = 32;
+    std::vector<size_t> order;
+    order.reserve(n);
+    for (size_t i = 0; i < n; ++i) order.push_back(i);
+    size_t considered = n;
+    if (n > kOverlapCandidates) {
+      considered = kOverlapCandidates;
+      std::partial_sort(order.begin(), order.begin() + considered,
+                        order.end(), [&](size_t a, size_t b) {
+                          double ea = node.entries[a].rect.Enlargement(rect);
+                          double eb = node.entries[b].rect.Enlargement(rect);
+                          if (ea != eb) return ea < eb;
+                          double va = node.entries[a].rect.Volume();
+                          double vb = node.entries[b].rect.Volume();
+                          if (va != vb) return va < vb;
+                          return a < b;  // deterministic tie-break
+                        });
+    }
     double best_overlap = std::numeric_limits<double>::infinity();
     double best_enlarge = best_overlap, best_area = best_overlap;
-    for (size_t i = 0; i < n; ++i) {
+    best = order[0];
+    for (size_t oi = 0; oi < considered; ++oi) {
+      const size_t i = order[oi];
       HyperRect enlarged = HyperRect::Union(node.entries[i].rect, rect);
       double overlap_delta = 0.0;
       for (size_t j = 0; j < n; ++j) {

@@ -138,6 +138,40 @@ TEST(BuildDeterminismTest, HoldsForRStarAndDecomposedVariants) {
             BuildAndSerialize(pts, 8, true, 4));
 }
 
+TEST(BuildDeterminismTest, LpHotPathOptimizationsAreThreadCountInvariant) {
+  // The optimized LP pipeline (bisector pre-pruning + ray-shoot warm
+  // starts) keeps all of its state per cell, so it must not perturb the
+  // byte-identity contract; the cold configuration is pinned alongside it
+  // so a regression is attributable to one pipeline. kCorrect at d = 16
+  // maximizes both the skipped-face rate and the constraint-row count.
+  PointSet pts = GenerateUniform(160, 16, 29);
+  for (bool optimized : {true, false}) {
+    NNCellOptions options;
+    options.algorithm = ApproxAlgorithm::kCorrect;
+    options.approx.prune_bisectors = optimized;
+    options.approx.warm_start = optimized;
+    std::string serial;
+    for (size_t threads : {1u, 2u, 8u}) {
+      PageFile f(2048);
+      BufferPool p(&f, 512);
+      options.parallel.num_threads = threads;
+      NNCellIndex index(&p, pts.dim(), options);
+      Status built = index.BulkBuild(pts);
+      ASSERT_TRUE(built.ok()) << built.ToString();
+      std::ostringstream out;
+      Status saved = index.Save(out);
+      ASSERT_TRUE(saved.ok()) << saved.ToString();
+      if (threads == 1) {
+        serial = out.str();
+      } else {
+        EXPECT_EQ(serial, out.str())
+            << threads << "-thread " << (optimized ? "optimized" : "cold")
+            << " build diverged";
+      }
+    }
+  }
+}
+
 TEST(BuildDeterminismTest, HoldsInSupernodeDimensionality) {
   // d = 16 drives the X-tree into supernode territory (high-dimensional
   // MBR overlap), covering multi-page nodes in the parallel build.

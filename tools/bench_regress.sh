@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# LP bench-regression harness driver.
+#
+#   tools/bench_regress.sh [--quick] [--update] [--build-dir DIR]
+#
+# Runs bench/bench_regress (building it first if a build tree is
+# configured), then either gates the fresh counters against the committed
+# BENCH_lp.json (default; >20% lp_iterations growth fails) or rewrites the
+# baseline (--update, full mode only). --quick runs the CI smoke subset.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+UPDATE=0
+BUILD_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --update) UPDATE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    *) echo "usage: $0 [--quick] [--update] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for d in build-dev build; do
+    if [[ -d "$d" ]]; then BUILD_DIR="$d"; break; fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -d "$BUILD_DIR" ]]; then
+  echo "no build directory found (configure with: cmake --preset dev)" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target bench_regress
+
+OUT="$BUILD_DIR/bench_lp_current.json"
+ARGS=()
+if [[ "$QUICK" == 1 ]]; then ARGS+=(--quick); fi
+"$BUILD_DIR/bench/bench_regress" "${ARGS[@]}" "--out=$OUT"
+
+if [[ "$UPDATE" == 1 ]]; then
+  if [[ "$QUICK" == 1 ]]; then
+    echo "--update requires a full run (the baseline must contain every config)" >&2
+    exit 2
+  fi
+  cp "$OUT" BENCH_lp.json
+  echo "BENCH_lp.json updated"
+  exit 0
+fi
+
+python3 tools/bench_regress_diff.py BENCH_lp.json "$OUT"

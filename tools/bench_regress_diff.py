@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate a bench_regress run against the committed BENCH_lp.json baseline.
+
+Compares by config name (a quick run carries a subset of the committed
+configs) using only the deterministic LP counters, which are a pure
+function of config and seed -- wall-clock never gates. Two checks per
+config:
+
+  1. No iteration regression: the new optimized lp_iterations may exceed
+     the committed optimized lp_iterations by at most --max-regression
+     (default 20%).
+  2. The optimized pipeline still beats its own in-run baseline: new
+     optimized lp_iterations <= new baseline lp_iterations * (1 + slop).
+
+Exits 0 when every compared config passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {c["name"]: c for c in doc["configs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_lp.json")
+    ap.add_argument("current", help="freshly produced bench_regress output")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed relative lp_iterations growth vs baseline")
+    args = ap.parse_args()
+
+    committed = load(args.baseline)
+    current = load(args.current)
+
+    compared = 0
+    failures = []
+    for name, cur in sorted(current.items()):
+        ref = committed.get(name)
+        if ref is None:
+            print(f"  {name}: not in committed baseline, skipped")
+            continue
+        compared += 1
+        ref_it = ref["optimized"]["lp_iterations"]
+        cur_it = cur["optimized"]["lp_iterations"]
+        limit = ref_it * (1.0 + args.max_regression)
+        status = "ok"
+        if cur_it > limit:
+            status = "ITERATION REGRESSION"
+            failures.append(
+                f"{name}: optimized lp_iterations {cur_it} > "
+                f"{limit:.0f} (committed {ref_it} +{args.max_regression:.0%})")
+        base_it = cur["baseline"]["lp_iterations"]
+        if cur_it > base_it * 1.05:
+            status = "SLOWER THAN COLD"
+            failures.append(
+                f"{name}: optimized lp_iterations {cur_it} exceeds its own "
+                f"cold baseline {base_it}")
+        print(f"  {name}: iters {cur_it} (committed {ref_it}, "
+              f"cold {base_it}) [{status}]")
+
+    if compared == 0:
+        print("no overlapping configs between baseline and current run")
+        return 1
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nOK: {compared} config(s) within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
