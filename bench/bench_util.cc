@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/metrics.h"
+#include "common/metrics_names.h"
 #include "common/stopwatch.h"
 
 namespace nncell {
@@ -131,6 +133,19 @@ QueryCost MeasureNNCellQueries(const NNCellSetup& setup,
   uint64_t pages = 0;
   double cpu_s = 0.0;
   double candidates = 0.0;
+  // Work counters come from the metrics registry as a before/after delta
+  // over the whole run. The per-site cost while enabled is one relaxed
+  // fetch_add, small against an LP-free point query; still, deltas are
+  // taken outside the timed region and the previous enabled state is
+  // restored afterwards so benchmarks compose.
+  metrics::Registry& registry = metrics::Registry::Global();
+  metrics::Counter* visits = registry.counter(metrics::kIndexNodeVisits);
+  metrics::Counter* dists =
+      registry.counter(metrics::kQueryDistanceComputations);
+  const bool was_enabled = metrics::Registry::Enabled();
+  metrics::Registry::SetEnabled(true);
+  const uint64_t visits_before = visits->Value();
+  const uint64_t dists_before = dists->Value();
   for (size_t i = 0; i < queries.size(); ++i) {
     if (config.cold_queries) setup.pool->DropCache();
     setup.pool->ResetStats();
@@ -141,12 +156,17 @@ QueryCost MeasureNNCellQueries(const NNCellSetup& setup,
     pages += setup.pool->stats().physical_reads;
     candidates += static_cast<double>(r->candidates);
   }
+  const uint64_t visit_delta = visits->Value() - visits_before;
+  const uint64_t dist_delta = dists->Value() - dists_before;
+  metrics::Registry::SetEnabled(was_enabled);
   double n = static_cast<double>(queries.size());
   cost.cpu_ms = cpu_s * 1e3 / n;
   cost.page_accesses = static_cast<double>(pages) / n;
   cost.total_ms = cost.cpu_ms * config.cpu_scale +
                   cost.page_accesses * config.page_latency_ms;
   cost.candidates = candidates / n;
+  cost.node_visits = static_cast<double>(visit_delta) / n;
+  cost.distance_calcs = static_cast<double>(dist_delta) / n;
   return cost;
 }
 

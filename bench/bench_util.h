@@ -67,6 +67,9 @@ struct QueryCost {
   double page_accesses = 0.0; // physical page reads per query
   double total_ms = 0.0;      // cpu + page_accesses * latency
   double candidates = 0.0;    // NN-cell only: candidate cells per query
+  // Metrics-registry deltas per query (0 when metrics are compiled out).
+  double node_visits = 0.0;    // index.tree.node_visits
+  double distance_calcs = 0.0; // query.nn.distance_computations
 };
 
 // A fully assembled NN-cell index with its own paged storage.

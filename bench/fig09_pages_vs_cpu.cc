@@ -24,6 +24,7 @@ void Run(const BenchConfig& config) {
       n, config.queries);
   Table pages({"dim", "R*-pages", "X-pages", "NNcell-pages"});
   Table cpu({"dim", "R*-cpu[ms]", "X-cpu[ms]", "NNcell-cpu[ms]"});
+  Table work({"dim", "NN-visits", "NN-cands", "NN-dists"});
   for (size_t dim : dims) {
     PointSet pts = GenerateUniform(n, dim, config.seed + dim);
     PointSet queries = GenerateQueries(config.queries, dim, config.seed ^ dim);
@@ -42,11 +43,18 @@ void Run(const BenchConfig& config) {
                   Table::Num(c.page_accesses, 1)});
     cpu.AddRow({Table::Int(dim), Table::Num(r.cpu_ms, 3),
                 Table::Num(x.cpu_ms, 3), Table::Num(c.cpu_ms, 3)});
+    work.AddRow({Table::Int(dim), Table::Num(c.node_visits, 1),
+                 Table::Num(c.candidates, 1),
+                 Table::Num(c.distance_calcs, 1)});
   }
   std::printf("(a) Page accesses per query\n");
   pages.Print();
   std::printf("(b) CPU time per query [ms]\n");
   cpu.Print();
+  std::printf(
+      "(c) NN-cell index work per query (metrics registry: tree node "
+      "visits, candidate cells, exact distance computations)\n");
+  work.Print();
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+#ifndef NNCELL_COMMON_METRICS_NAMES_H_
+#define NNCELL_COMMON_METRICS_NAMES_H_
+
+#include <cstddef>
+
+// Single source of truth for every metric the system exports. A metric
+// that is not listed here cannot be obtained from the registry (the lookup
+// CHECK-fails), and tools/check_docs_links.sh cross-checks this table
+// against docs/METRICS.md in both directions, so the documentation can
+// never drift from the code.
+//
+// Naming convention: <subsystem>.<object>.<quantity>, lower_snake within
+// segments. Subsystems mirror the source tree: storage, index (rstar/
+// xtree), lp (lp/geom build pipeline), query (nncell query path).
+
+namespace nncell {
+namespace metrics {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct MetricDef {
+  const char* name;
+  Kind kind;
+  const char* unit;
+  const char* help;
+};
+
+// --- storage -------------------------------------------------------------
+inline constexpr char kPoolLogicalReads[] = "storage.pool.logical_reads";
+inline constexpr char kPoolMisses[] = "storage.pool.misses";
+inline constexpr char kPoolEvictions[] = "storage.pool.evictions";
+inline constexpr char kPoolWritebacks[] = "storage.pool.writebacks";
+inline constexpr char kPoolPinnedFrames[] = "storage.pool.pinned_frames";
+inline constexpr char kFileReadPages[] = "storage.file.read_pages";
+inline constexpr char kFileWritePages[] = "storage.file.write_pages";
+inline constexpr char kFileReadBytes[] = "storage.file.read_bytes";
+inline constexpr char kFileWriteBytes[] = "storage.file.write_bytes";
+
+// --- index (R*/X-tree) ---------------------------------------------------
+inline constexpr char kIndexNodeVisits[] = "index.tree.node_visits";
+inline constexpr char kIndexLeafVisits[] = "index.tree.leaf_visits";
+inline constexpr char kIndexNodeSplits[] = "index.tree.node_splits";
+inline constexpr char kIndexSupernodeEvents[] = "index.tree.supernode_events";
+
+// --- lp (cell-approximation build pipeline) ------------------------------
+inline constexpr char kLpRuns[] = "lp.solver.runs";
+inline constexpr char kLpIterations[] = "lp.solver.iterations";
+inline constexpr char kLpFailures[] = "lp.solver.failures";
+inline constexpr char kLpConstraintRows[] = "lp.rows.entered";
+inline constexpr char kLpPrunedRows[] = "lp.rows.pruned";
+inline constexpr char kLpFacesSkipped[] = "lp.faces.skipped";
+inline constexpr char kLpFacesWarm[] = "lp.faces.warm";
+inline constexpr char kLpFacesCold[] = "lp.faces.cold";
+
+// --- query (NN-cell query path) -------------------------------------------
+inline constexpr char kQueryCount[] = "query.nn.count";
+inline constexpr char kQueryCandidates[] = "query.nn.candidates";
+inline constexpr char kQueryDistanceComputations[] =
+    "query.nn.distance_computations";
+inline constexpr char kQueryFallbacks[] = "query.nn.fallbacks";
+inline constexpr char kQueryCandidatesPerQuery[] =
+    "query.nn.candidates_per_query";
+
+// The registry registers exactly this set at construction, so a snapshot
+// always covers every metric (zeros included) and is deterministic.
+inline constexpr MetricDef kMetricDefs[] = {
+    {kPoolLogicalReads, Kind::kCounter, "pages",
+     "BufferPool::Fetch/FetchMutable calls (cache hits = logical - misses)"},
+    {kPoolMisses, Kind::kCounter, "pages",
+     "buffer-pool cache misses that went to the PageFile"},
+    {kPoolEvictions, Kind::kCounter, "frames",
+     "LRU frames recycled to serve a miss"},
+    {kPoolWritebacks, Kind::kCounter, "pages",
+     "dirty frames written back on eviction or Flush"},
+    {kPoolPinnedFrames, Kind::kGauge, "frames",
+     "currently pinned buffer-pool frames (all pools)"},
+    {kFileReadPages, Kind::kCounter, "pages",
+     "PageFile::Read calls (simulated disk read syscalls)"},
+    {kFileWritePages, Kind::kCounter, "pages",
+     "PageFile::Write calls (simulated disk write syscalls)"},
+    {kFileReadBytes, Kind::kCounter, "bytes", "bytes read from PageFiles"},
+    {kFileWriteBytes, Kind::kCounter, "bytes", "bytes written to PageFiles"},
+    {kIndexNodeVisits, Kind::kCounter, "nodes",
+     "tree nodes visited by point/range/leaf-page queries"},
+    {kIndexLeafVisits, Kind::kCounter, "nodes",
+     "leaf nodes among the visited nodes"},
+    {kIndexNodeSplits, Kind::kCounter, "splits",
+     "node splits executed on the insert path"},
+    {kIndexSupernodeEvents, Kind::kCounter, "events",
+     "X-tree supernode-growth decisions (split avoided)"},
+    {kLpRuns, Kind::kCounter, "solves",
+     "LP face solves attempted (2d per cell minus certified skips)"},
+    {kLpIterations, Kind::kCounter, "iterations",
+     "active-set solver iterations across all face solves"},
+    {kLpFailures, Kind::kCounter, "faces",
+     "faces that fell back to the data-space bound"},
+    {kLpConstraintRows, Kind::kCounter, "rows",
+     "bisector rows that entered LP systems"},
+    {kLpPrunedRows, Kind::kCounter, "rows",
+     "bisector rows discarded by the pruner before any LP ran"},
+    {kLpFacesSkipped, Kind::kCounter, "faces",
+     "faces certified by the axis ray-shoot (0 LP iterations)"},
+    {kLpFacesWarm, Kind::kCounter, "faces",
+     "face solves warm-started at the ray hit point"},
+    {kLpFacesCold, Kind::kCounter, "faces",
+     "face solves started from the cold start"},
+    {kQueryCount, Kind::kCounter, "queries",
+     "NN point queries answered by NNCellIndex::Query"},
+    {kQueryCandidates, Kind::kCounter, "candidates",
+     "candidate cells returned by the index point query (paper: candidate "
+     "set size)"},
+    {kQueryDistanceComputations, Kind::kCounter, "distances",
+     "exact distance evaluations during NN queries (incl. fallback scans)"},
+    {kQueryFallbacks, Kind::kCounter, "queries",
+     "queries that fell back to a sequential scan (numeric edge)"},
+    {kQueryCandidatesPerQuery, Kind::kHistogram, "candidates",
+     "distribution of the candidate-set size per NN query"},
+};
+
+inline constexpr size_t kNumMetricDefs =
+    sizeof(kMetricDefs) / sizeof(kMetricDefs[0]);
+
+}  // namespace metrics
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_METRICS_NAMES_H_

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/distance.h"
+#include "common/metrics.h"
+#include "common/metrics_names.h"
 #include "geom/bisector.h"
 #include "lp/audit.h"
 
@@ -37,6 +39,34 @@ ApproxScratch& LocalScratch() {
   return scratch;
 }
 
+// Registry handles for the LP pipeline. Every handle is resolved once; the
+// hot loop batches its tallies locally and pushes one add per metric per
+// MBR, so instrumentation cost stays independent of dim.
+struct LpMetrics {
+  metrics::Counter* runs;
+  metrics::Counter* iterations;
+  metrics::Counter* failures;
+  metrics::Counter* rows_entered;
+  metrics::Counter* rows_pruned;
+  metrics::Counter* faces_skipped;
+  metrics::Counter* faces_warm;
+  metrics::Counter* faces_cold;
+};
+
+[[maybe_unused]] const LpMetrics& Metrics() {
+  static const LpMetrics m = {
+      metrics::Registry::Global().counter(metrics::kLpRuns),
+      metrics::Registry::Global().counter(metrics::kLpIterations),
+      metrics::Registry::Global().counter(metrics::kLpFailures),
+      metrics::Registry::Global().counter(metrics::kLpConstraintRows),
+      metrics::Registry::Global().counter(metrics::kLpPrunedRows),
+      metrics::Registry::Global().counter(metrics::kLpFacesSkipped),
+      metrics::Registry::Global().counter(metrics::kLpFacesWarm),
+      metrics::Registry::Global().counter(metrics::kLpFacesCold),
+  };
+  return m;
+}
+
 }  // namespace
 
 CellApproximator::CellApproximator(size_t dim, HyperRect space,
@@ -56,12 +86,14 @@ HyperRect CellApproximator::SolveFaces(FaceSolveSession& session,
   HyperRect mbr = HyperRect::Empty(dim_);
   std::vector<double>& c = LocalScratch().c;
   c.assign(dim_, 0.0);
-  auto count_face = [stats](FaceSolveSession::FaceKind kind) {
-    if (!stats) return;
+  // Local tallies; flushed to `stats` and the metrics registry once per MBR.
+  uint64_t skipped = 0, warm = 0, cold = 0;
+  uint64_t runs = 0, iterations = 0, failures = 0;
+  auto count_face = [&](FaceSolveSession::FaceKind kind) {
     switch (kind) {
-      case FaceSolveSession::FaceKind::kSkipped: ++stats->skipped_faces; break;
-      case FaceSolveSession::FaceKind::kWarm: ++stats->warm_faces; break;
-      case FaceSolveSession::FaceKind::kCold: ++stats->cold_faces; break;
+      case FaceSolveSession::FaceKind::kSkipped: ++skipped; break;
+      case FaceSolveSession::FaceKind::kWarm: ++warm; break;
+      case FaceSolveSession::FaceKind::kCold: ++cold; break;
     }
   };
   for (size_t i = 0; i < dim_; ++i) {
@@ -76,25 +108,37 @@ HyperRect CellApproximator::SolveFaces(FaceSolveSession& session,
     NNCELL_DCHECK_OK(lp::AuditSolution(problem, c, up, lp::LpSense::kMaximize));
     NNCELL_DCHECK_OK(lp::AuditSolution(problem, c, dn, lp::LpSense::kMinimize));
     c[i] = 0.0;
-    if (stats) {
-      stats->lp_runs += 2;
-      stats->lp_iterations += up.iterations + dn.iterations;
-    }
+    runs += 2;
+    iterations += up.iterations + dn.iterations;
     if (up.status == LpStatus::kOptimal) {
       mbr.hi(i) = up.objective;
     } else {
       mbr.hi(i) = space_.hi(i);  // conservative fallback
-      if (stats) ++stats->lp_failures;
+      ++failures;
     }
     if (dn.status == LpStatus::kOptimal) {
       mbr.lo(i) = dn.objective;
     } else {
       mbr.lo(i) = space_.lo(i);
-      if (stats) ++stats->lp_failures;
+      ++failures;
     }
     // Guard against numerical inversion on degenerate (flat) cells.
     if (mbr.lo(i) > mbr.hi(i)) std::swap(mbr.lo(i), mbr.hi(i));
   }
+  if (stats) {
+    stats->skipped_faces += skipped;
+    stats->warm_faces += warm;
+    stats->cold_faces += cold;
+    stats->lp_runs += runs;
+    stats->lp_iterations += iterations;
+    stats->lp_failures += failures;
+  }
+  NNCELL_METRIC_COUNT(Metrics().faces_skipped, skipped);
+  NNCELL_METRIC_COUNT(Metrics().faces_warm, warm);
+  NNCELL_METRIC_COUNT(Metrics().faces_cold, cold);
+  NNCELL_METRIC_COUNT(Metrics().runs, runs);
+  NNCELL_METRIC_COUNT(Metrics().iterations, iterations);
+  NNCELL_METRIC_COUNT(Metrics().failures, failures);
   return mbr;
 }
 
@@ -124,6 +168,8 @@ HyperRect CellApproximator::ApproximateMbr(
     stats->constraint_rows += candidates.size() - pruned;
     stats->pruned_rows += pruned;
   }
+  NNCELL_METRIC_COUNT(Metrics().rows_entered, candidates.size() - pruned);
+  NNCELL_METRIC_COUNT(Metrics().rows_pruned, pruned);
   std::vector<double>& start = sc.session.start_buffer();
   start.assign(owner, owner + dim_);
   return SolveMbr(problem, start, stats);
@@ -147,6 +193,8 @@ HyperRect CellApproximator::ApproximateClippedMbr(
     stats->constraint_rows += candidates.size() - pruned;
     stats->pruned_rows += pruned;
   }
+  NNCELL_METRIC_COUNT(Metrics().rows_entered, candidates.size() - pruned);
+  NNCELL_METRIC_COUNT(Metrics().rows_pruned, pruned);
 
   // The owner is feasible for its cell but maybe not for the clip box:
   // clamp it into the box as a phase-I hint.

@@ -6,6 +6,8 @@
 #include <map>
 
 #include "common/distance.h"
+#include "common/metrics.h"
+#include "common/metrics_names.h"
 #include "common/rng.h"
 #include "rstar/rstar_tree.h"
 #include "xtree/xtree.h"
@@ -13,7 +15,29 @@
 namespace nncell {
 
 namespace {
+
 constexpr uint64_t kInvalidId = std::numeric_limits<uint64_t>::max();
+
+// Registry handles for the query pipeline (resolved once per process).
+struct QueryMetrics {
+  metrics::Counter* count;
+  metrics::Counter* candidates;
+  metrics::Counter* distance_computations;
+  metrics::Counter* fallbacks;
+  metrics::Histogram* candidates_per_query;
+};
+
+[[maybe_unused]] const QueryMetrics& Metrics() {
+  static const QueryMetrics m = {
+      metrics::Registry::Global().counter(metrics::kQueryCount),
+      metrics::Registry::Global().counter(metrics::kQueryCandidates),
+      metrics::Registry::Global().counter(metrics::kQueryDistanceComputations),
+      metrics::Registry::Global().counter(metrics::kQueryFallbacks),
+      metrics::Registry::Global().histogram(metrics::kQueryCandidatesPerQuery),
+  };
+  return m;
+}
+
 }  // namespace
 
 namespace {
@@ -426,13 +450,36 @@ void NNCellIndex::RecomputeCell(uint64_t id) {
 
 StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
     const double* q_original) const {
+  return Query(q_original, nullptr);
+}
+
+StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
+    const double* q_original, QueryTrace* trace) const {
   if (live_count_ == 0) return Status::FailedPrecondition("index is empty");
+
+  BufferStats pool_before;
+  if (trace != nullptr) {
+    trace->Clear();
+    pool_before = tree_->pool()->stats();
+  }
 
   std::vector<double> q_vec = ToMetricSpace(q_original);
   const double* q = q_vec.data();
   QueryResult result;
+
+  // Stage 1: point query on the cell index (Lemma 2: the true NN's cell
+  // approximation contains q, so its owner is among the matches).
+  TraceTimer probe_timer;
   auto matches = tree_->PointQuery(q);
+  if (trace != nullptr) {
+    trace->stages.push_back(
+        {"index_probe", probe_timer.ElapsedMicros(), matches.size()});
+  }
   result.candidates = matches.size();
+
+  // Stage 2: exact distance scan over the candidate owners.
+  TraceTimer scan_timer;
+  uint64_t distance_computations = matches.size();
   double best = std::numeric_limits<double>::infinity();
   uint64_t best_id = kInvalidId;
   const double* best_point = nullptr;
@@ -445,14 +492,21 @@ StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
       best_point = owner;
     }
   }
+  if (trace != nullptr) {
+    trace->stages.push_back(
+        {"distance_scan", scan_timer.ElapsedMicros(), matches.size()});
+  }
 
   if (best_id == kInvalidId) {
     // Numeric edge (query on a cell face lost to LP tolerance) or query
     // outside the data space: fall back to an exact scan. Lemma 2 makes
     // this rare; the flag lets benchmarks count it.
     result.used_fallback = true;
+    TraceTimer fallback_timer;
+    uint64_t scanned = 0;
     for (uint64_t id = 0; id < points_.size(); ++id) {
       if (!alive_[id]) continue;
+      ++scanned;
       double d2 = L2DistSq(points_[id], q, dim_);
       if (d2 < best) {
         best = d2;
@@ -460,6 +514,27 @@ StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
         best_point = points_[id];
       }
     }
+    distance_computations += scanned;
+    if (trace != nullptr) {
+      trace->stages.push_back(
+          {"fallback_scan", fallback_timer.ElapsedMicros(), scanned});
+    }
+  }
+
+  NNCELL_METRIC_COUNT(Metrics().count, 1);
+  NNCELL_METRIC_COUNT(Metrics().candidates, result.candidates);
+  NNCELL_METRIC_COUNT(Metrics().distance_computations, distance_computations);
+  NNCELL_METRIC_COUNT(Metrics().fallbacks, result.used_fallback ? 1 : 0);
+  NNCELL_METRIC_RECORD(Metrics().candidates_per_query, result.candidates);
+
+  if (trace != nullptr) {
+    trace->candidates = result.candidates;
+    trace->distance_computations = distance_computations;
+    trace->used_fallback = result.used_fallback;
+    BufferStats pool_after = tree_->pool()->stats();
+    trace->logical_reads = pool_after.logical_reads - pool_before.logical_reads;
+    trace->physical_reads =
+        pool_after.physical_reads - pool_before.physical_reads;
   }
 
   result.id = best_id;
@@ -633,6 +708,28 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::RangeSearch(
     const std::vector<double>& q, double radius) const {
   NNCELL_CHECK(q.size() == dim_);
   return RangeSearch(q.data(), radius);
+}
+
+ApproxStats NNCellIndex::MeasureApproxEffort(size_t sample,
+                                             uint64_t seed) const {
+  ApproxStats stats;
+  if (live_count_ == 0 || sample == 0) return stats;
+  std::vector<uint64_t> live;
+  live.reserve(live_count_);
+  for (uint64_t id = 0; id < points_.size(); ++id) {
+    if (alive_[id]) live.push_back(id);
+  }
+  sample = std::min(sample, live.size());
+  // Stride sampling spreads the probes over the id range (ids correlate
+  // with insertion order, not space, so any spread is as good as random);
+  // the seed rotates the phase without changing the sample size.
+  const size_t stride = live.size() / sample;
+  const size_t offset = static_cast<size_t>(seed % stride);
+  for (size_t k = 0; k < sample; ++k) {
+    uint64_t id = live[offset + k * stride];
+    (void)ComputeCellRects(points_[id], id, &stats);
+  }
+  return stats;
 }
 
 double NNCellIndex::ExpectedCandidates() const {

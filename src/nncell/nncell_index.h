@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "geom/cell_approximator.h"
 #include "geom/decomposition.h"
+#include "nncell/query_trace.h"
 #include "rstar/rtree_core.h"
 #include "storage/buffer_pool.h"
 
@@ -164,6 +165,13 @@ class NNCellIndex {
   StatusOr<QueryResult> Query(const double* q) const;
   StatusOr<QueryResult> Query(const std::vector<double>& q) const;
 
+  // Traced variant: when `trace` is non-null it is cleared and filled with
+  // the per-stage timeline of this one query (see query_trace.h). Same
+  // thread-safety as the untraced overloads; the buffer-pool read deltas in
+  // the trace are attributed pool-wide, so they are exact only when no
+  // other query runs concurrently.
+  StatusOr<QueryResult> Query(const double* q, QueryTrace* trace) const;
+
   // Batched nearest-neighbor search: answers every query and returns the
   // results in input order. With options().parallel.num_threads > 1 the
   // batch is fanned across the thread pool -- N concurrent readers over
@@ -198,6 +206,14 @@ class NNCellIndex {
                                                  double radius) const;
   StatusOr<std::vector<QueryResult>> RangeSearch(const std::vector<double>& q,
                                                  double radius) const;
+
+  // Re-runs the cell-approximation pipeline (candidate selection + LP
+  // solves) for `sample` deterministically chosen live points and returns
+  // the aggregated effort counters; the computed rectangles are discarded
+  // and the index is not modified. Pure read -- used by `nncell_cli stats`
+  // to surface live LP metrics for an index loaded from disk. `seed` only
+  // rotates which points are sampled.
+  ApproxStats MeasureApproxEffort(size_t sample, uint64_t seed = 0) const;
 
   // The paper's quality measure: the expected number of approximations
   // containing a uniform query point (sum of MBR volumes over the data

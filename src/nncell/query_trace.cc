@@ -1,0 +1,43 @@
+#include "nncell/query_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace nncell {
+
+namespace {
+
+void AppendKV(std::string* out, const char* key, uint64_t v, bool comma) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, v,
+                comma ? "," : "");
+  *out += buf;
+}
+
+}  // namespace
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{";
+  AppendKV(&out, "candidates", candidates, true);
+  AppendKV(&out, "distance_computations", distance_computations, true);
+  AppendKV(&out, "logical_reads", logical_reads, true);
+  AppendKV(&out, "physical_reads", physical_reads, true);
+  out += "\"stages\":[";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const Stage& s = stages[i];
+    char buf[160];
+    // Stage timings are the only non-integers in the object; two decimals
+    // keep the output diff-friendly without rounding real signal away.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"items\":%" PRIu64 ",\"micros\":%.2f,\"name\":\"%s\"}",
+                  i == 0 ? "" : ",", s.items, s.micros, s.name.c_str());
+    out += buf;
+  }
+  out += "],";
+  out += "\"used_fallback\":";
+  out += used_fallback ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+}  // namespace nncell

@@ -7,10 +7,33 @@
 #include <sstream>
 
 #include "common/distance.h"
+#include "common/metrics.h"
+#include "common/metrics_names.h"
 #include "rstar/bulk_load.h"
 #include "rstar/split.h"
 
 namespace nncell {
+
+namespace {
+
+// Registry handles for the directory-traversal counters (aggregated over
+// every tree in the process: cell index, point index, baselines).
+struct TreeMetrics {
+  metrics::Counter* node_visits;
+  metrics::Counter* leaf_visits;
+  metrics::Counter* node_splits;
+};
+
+[[maybe_unused]] const TreeMetrics& Metrics() {
+  static const TreeMetrics m = {
+      metrics::Registry::Global().counter(metrics::kIndexNodeVisits),
+      metrics::Registry::Global().counter(metrics::kIndexLeafVisits),
+      metrics::Registry::Global().counter(metrics::kIndexNodeSplits),
+  };
+  return m;
+}
+
+}  // namespace
 
 RTreeCore::RTreeCore(BufferPool* pool, TreeOptions options)
     : pool_(pool), options_(options),
@@ -250,6 +273,7 @@ void RTreeCore::InsertEntry(Entry entry, size_t target_level) {
       PropagateMbrs(path, node.ComputeMbr(options_.dim));
       return;
     }
+    NNCELL_METRIC_COUNT(Metrics().node_splits, 1);
 
     Node left;
     left.is_leaf = node.is_leaf;
@@ -321,7 +345,8 @@ void RTreeCore::CollectMatches(PageId pid, const HyperRect& range,
   while (!stack.empty()) {
     PageId cur = stack.back();
     stack.pop_back();
-    store_.VisitNode(cur, [&](const EntryView& e, bool is_leaf) {
+    bool visited_leaf = store_.VisitNode(cur, [&](const EntryView& e,
+                                                  bool is_leaf) {
       bool hit = containment
                      ? RawContainsPoint(e.lo, e.hi, q, d)
                      : RawIntersects(e.lo, e.hi, range.lo().data(),
@@ -338,6 +363,8 @@ void RTreeCore::CollectMatches(PageId pid, const HyperRect& range,
         stack.push_back(static_cast<PageId>(e.id));
       }
     });
+    NNCELL_METRIC_COUNT(Metrics().node_visits, 1);
+    if (visited_leaf) NNCELL_METRIC_COUNT(Metrics().leaf_visits, 1);
   }
 }
 
@@ -382,6 +409,8 @@ void RTreeCore::CollectLeafPages(PageId pid, const double* q, double radius_sq,
         stack.push_back(static_cast<PageId>(e.id));
       }
     });
+    NNCELL_METRIC_COUNT(Metrics().node_visits, 1);
+    if (is_leaf) NNCELL_METRIC_COUNT(Metrics().leaf_visits, 1);
     if (is_leaf && cur == root_ && !root_mbr.IsEmpty() &&
         root_mbr.MinDistSq(q) > radius_sq) {
       out->clear();  // the sole (root) page does not qualify after all

@@ -4,7 +4,40 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/metrics.h"
+#include "common/metrics_names.h"
+
 namespace nncell {
+
+namespace {
+
+// Registry handles, resolved once. Counters aggregate over every pool in
+// the process (cell index, point index, baselines alike); per-pool detail
+// stays available through BufferPool::stats().
+struct PoolMetrics {
+  metrics::Counter* logical_reads;
+  metrics::Counter* misses;
+  metrics::Counter* evictions;
+  metrics::Counter* writebacks;
+  metrics::Gauge* pinned_frames;
+};
+
+[[maybe_unused]] const PoolMetrics& Metrics() {
+  static const PoolMetrics m = {
+      metrics::Registry::Global().counter(metrics::kPoolLogicalReads),
+      metrics::Registry::Global().counter(metrics::kPoolMisses),
+      metrics::Registry::Global().counter(metrics::kPoolEvictions),
+      metrics::Registry::Global().counter(metrics::kPoolWritebacks),
+      metrics::Registry::Global().gauge(metrics::kPoolPinnedFrames),
+  };
+  return m;
+}
+
+inline void BumpRelaxed(std::atomic<uint64_t>& v) {
+  v.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
     : file_(file), capacity_(capacity_pages) {
@@ -51,7 +84,8 @@ BufferPool::Frame& BufferPool::GetFrame(Shard& shard, PageId id,
   NNCELL_DCHECK(!f.dirty);
   NNCELL_DCHECK(f.pins == 0);
   if (load_from_disk) {
-    ++shard.stats.physical_reads;
+    BumpRelaxed(shard.stats.physical_reads);
+    NNCELL_METRIC_COUNT(Metrics().misses, 1);
     file_->Read(id, f.bytes.data());
   } else {
     std::memset(f.bytes.data(), 0, f.bytes.size());
@@ -75,8 +109,10 @@ size_t BufferPool::EvictOne(Shard& shard) {
     Frame& f = shard.frames[idx];
     if (f.pins > 0) continue;
     shard.lru.erase(std::next(it).base());
+    NNCELL_METRIC_COUNT(Metrics().evictions, 1);
     if (f.dirty) {
-      ++shard.stats.writebacks;
+      BumpRelaxed(shard.stats.writebacks);
+      NNCELL_METRIC_COUNT(Metrics().writebacks, 1);
       file_->Write(f.id, f.bytes.data());
       ClearDirty(shard, f);
     }
@@ -91,14 +127,16 @@ size_t BufferPool::EvictOne(Shard& shard) {
 const uint8_t* BufferPool::Fetch(PageId id) {
   Shard& shard = ShardOf(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.stats.logical_reads;
+  BumpRelaxed(shard.stats.logical_reads);
+  NNCELL_METRIC_COUNT(Metrics().logical_reads, 1);
   return GetFrame(shard, id, /*load_from_disk=*/true).bytes.data();
 }
 
 uint8_t* BufferPool::FetchMutable(PageId id) {
   Shard& shard = ShardOf(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.stats.logical_reads;
+  BumpRelaxed(shard.stats.logical_reads);
+  NNCELL_METRIC_COUNT(Metrics().logical_reads, 1);
   Frame& f = GetFrame(shard, id, /*load_from_disk=*/true);
   MarkDirty(shard, f);
   return f.bytes.data();
@@ -147,7 +185,10 @@ void BufferPool::Pin(PageId id) {
   Shard& shard = ShardOf(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   Frame& f = GetFrame(shard, id, /*load_from_disk=*/true);
-  if (f.pins == 0) ++shard.pinned_frames;
+  if (f.pins == 0) {
+    ++shard.pinned_frames;
+    NNCELL_METRIC_GAUGE_ADD(Metrics().pinned_frames, 1);
+  }
   ++f.pins;
 }
 
@@ -162,6 +203,7 @@ void BufferPool::Unpin(PageId id) {
   if (f.pins == 0) {
     NNCELL_CHECK(shard.pinned_frames > 0);
     --shard.pinned_frames;
+    NNCELL_METRIC_GAUGE_ADD(Metrics().pinned_frames, -1);
   }
 }
 
@@ -188,7 +230,8 @@ void BufferPool::Flush() {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (Frame& f : shard->frames) {
       if (f.id != kInvalidPageId && f.dirty) {
-        ++shard->stats.writebacks;
+        BumpRelaxed(shard->stats.writebacks);
+        NNCELL_METRIC_COUNT(Metrics().writebacks, 1);
         file_->Write(f.id, f.bytes.data());
         ClearDirty(*shard, f);
       }
@@ -229,20 +272,26 @@ void BufferPool::DropCache() {
 }
 
 BufferStats BufferPool::stats() const {
+  // Lock-free sum over the shards: the counters are relaxed atomics, so a
+  // mid-query reader (metrics snapshot, QueryTrace) never contends with
+  // the fetch path and TSan stays clean.
   BufferStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total.logical_reads += shard->stats.logical_reads;
-    total.physical_reads += shard->stats.physical_reads;
-    total.writebacks += shard->stats.writebacks;
+    total.logical_reads +=
+        shard->stats.logical_reads.load(std::memory_order_relaxed);
+    total.physical_reads +=
+        shard->stats.physical_reads.load(std::memory_order_relaxed);
+    total.writebacks +=
+        shard->stats.writebacks.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 void BufferPool::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->stats.Reset();
+    shard->stats.logical_reads.store(0, std::memory_order_relaxed);
+    shard->stats.physical_reads.store(0, std::memory_order_relaxed);
+    shard->stats.writebacks.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef NNCELL_STORAGE_BUFFER_POOL_H_
 #define NNCELL_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -13,6 +14,7 @@
 
 namespace nncell {
 
+// Aggregated access counters (a point-in-time snapshot; see stats()).
 struct BufferStats {
   uint64_t logical_reads = 0;   // Fetch calls
   uint64_t physical_reads = 0;  // cache misses -> disk reads
@@ -111,7 +113,11 @@ class BufferPool {
   // i.e. no pin leaks. Returns OK or a description of the first violation.
   Status AuditPins(bool expect_unpinned = true) const;
 
-  // Aggregated over the shards (each shard counts under its own mutex).
+  // Aggregated over the shards. The per-shard counters are relaxed
+  // atomics, so this is safe to call from any thread while queries are in
+  // flight (the metrics registry and QueryTrace read it mid-query); the
+  // result is a consistent-enough point-in-time sum, exact at quiescent
+  // points.
   BufferStats stats() const;
   void ResetStats();
 
@@ -124,6 +130,16 @@ class BufferPool {
     std::list<size_t>::iterator lru_it;
   };
 
+  // Shard access counters. Increments happen under the shard mutex (they
+  // accompany structural changes anyway), but they are atomics so the
+  // stats read path -- which may run mid-query, e.g. from a QueryTrace or
+  // a metrics snapshot -- can sum them without taking the shard locks.
+  struct ShardStats {
+    std::atomic<uint64_t> logical_reads{0};
+    std::atomic<uint64_t> physical_reads{0};
+    std::atomic<uint64_t> writebacks{0};
+  };
+
   struct Shard {
     mutable std::mutex mu;
     size_t capacity = 0;
@@ -133,7 +149,7 @@ class BufferPool {
     std::vector<size_t> free_frames;
     size_t pinned_frames = 0;
     size_t dirty_frames = 0;
-    BufferStats stats;
+    ShardStats stats;
   };
 
   // Pools smaller than this stay single-sharded (exact classic LRU

@@ -5,7 +5,33 @@
 #include <istream>
 #include <ostream>
 
+#include "common/metrics.h"
+#include "common/metrics_names.h"
+
 namespace nncell {
+
+namespace {
+
+// Registry handles for the simulated-disk syscall/byte counters,
+// aggregated over every PageFile in the process.
+struct FileMetrics {
+  metrics::Counter* read_pages;
+  metrics::Counter* write_pages;
+  metrics::Counter* read_bytes;
+  metrics::Counter* write_bytes;
+};
+
+[[maybe_unused]] const FileMetrics& Metrics() {
+  static const FileMetrics m = {
+      metrics::Registry::Global().counter(metrics::kFileReadPages),
+      metrics::Registry::Global().counter(metrics::kFileWritePages),
+      metrics::Registry::Global().counter(metrics::kFileReadBytes),
+      metrics::Registry::Global().counter(metrics::kFileWriteBytes),
+  };
+  return m;
+}
+
+}  // namespace
 
 PageId PageFile::Allocate() {
   if (!free_list_.empty()) {
@@ -38,6 +64,8 @@ void PageFile::Read(PageId id, uint8_t* out) {
     ++disk_reads_;
     ++per_disk_reads_[id % per_disk_reads_.size()];
   }
+  NNCELL_METRIC_COUNT(Metrics().read_pages, 1);
+  NNCELL_METRIC_COUNT(Metrics().read_bytes, page_size_);
   // The page bytes themselves are read without the lock: concurrent reads
   // of (distinct or identical) pages are safe, and allocation/free only
   // happens in exclusive-writer phases.
@@ -62,6 +90,8 @@ void PageFile::Write(PageId id, const uint8_t* data) {  // writes not declustere
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++disk_writes_;
   }
+  NNCELL_METRIC_COUNT(Metrics().write_pages, 1);
+  NNCELL_METRIC_COUNT(Metrics().write_bytes, page_size_);
   std::memcpy(PagePtr(id), data, page_size_);
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/metrics.h"
+#include "common/metrics_names.h"
 #include "rstar/split.h"
 #include "xtree/xsplit.h"
 
@@ -47,6 +49,9 @@ XTree::SplitNode(const Node& node) {
   // 3. Supernode: grow instead of splitting, as long as the budget allows.
   if (node.page_span() < options().max_supernode_pages) {
     ++supernode_events_;
+    [[maybe_unused]] static metrics::Counter* const supernode_counter =
+        metrics::Registry::Global().counter(metrics::kIndexSupernodeEvents);
+    NNCELL_METRIC_COUNT(supernode_counter, 1);
     return std::nullopt;
   }
 

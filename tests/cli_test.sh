@@ -30,6 +30,23 @@ cmp "$DIR/idx.nncell" "$DIR/idx4.nncell"
 "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" > "$DIR/serial.out"
 "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --threads=4 > "$DIR/parallel.out"
 cmp "$DIR/serial.out" "$DIR/parallel.out"
+# observability: stats --json is well-formed and byte-stable across runs;
+# --trace prints one JSON timeline per query
+"$CLI" stats "$DIR/idx.nncell" --json > "$DIR/stats1.json"
+"$CLI" stats "$DIR/idx.nncell" --json > "$DIR/stats2.json"
+cmp "$DIR/stats1.json" "$DIR/stats2.json"
+python3 - "$DIR/stats1.json" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["index"]["validation"] == "OK", snap["index"]
+m = snap["metrics"]
+assert m["query.nn.count"] > 0 and m["query.nn.candidates"] > 0, m
+assert m["index.tree.node_visits"] > 0 and m["lp.solver.runs"] > 0, m
+assert m["query.nn.candidates_per_query"]["count"] == m["query.nn.count"], m
+PY
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --trace > "$DIR/trace.out"
+grep -c '^trace [0-9]*: {' "$DIR/trace.out" | grep -qx 5
+grep -q '"name":"index_probe"' "$DIR/trace.out"
 # error paths
 ! "$CLI" stats /nonexistent.idx 2>/dev/null
 ! "$CLI" frobnicate 2>/dev/null

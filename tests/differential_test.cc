@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "common/distance.h"
+#include "common/metrics.h"
+#include "common/metrics_names.h"
 #include "common/point_set.h"
 #include "common/rng.h"
 #include "data/generators.h"
@@ -168,6 +170,55 @@ std::vector<DiffCase> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DifferentialTest,
                          testing::ValuesIn(AllCases()), CaseName);
+
+// The candidate count itself is differential-testable for the Correct
+// strategy: with exact (undecomposed) cell MBRs there is exactly one
+// rectangle per live point, so Query's candidate set must be precisely the
+// cells whose stored rectangle contains q -- countable by brute force over
+// the bookkept rectangles. Lemma 2 additionally demands at least one
+// candidate for any in-space query (the true NN's cell contains q). The
+// same totals must show up in the metrics registry.
+TEST(DifferentialCandidateCountTest, CorrectStrategyMatchesContainmentOracle) {
+  NNCellOptions options;
+  options.algorithm = ApproxAlgorithm::kCorrect;
+  IndexUnderTest t = MakeIndex(4, options);
+  PointSet pts = GenerateUniform(80, 4, 321);
+  ASSERT_TRUE(t.index->BulkBuild(pts).ok());
+
+  metrics::Registry& registry = metrics::Registry::Global();
+  metrics::Counter* cand_counter =
+      registry.counter(metrics::kQueryCandidates);
+  const bool was_enabled = metrics::Registry::Enabled();
+  metrics::Registry::SetEnabled(true);
+  const uint64_t cand_before = cand_counter->Value();
+
+  uint64_t total_candidates = 0;
+  Rng rng(0xca9d);
+  std::vector<double> q(4);
+  for (int probe = 0; probe < 25; ++probe) {
+    for (auto& v : q) v = rng.NextDouble();
+    auto r = t.index->Query(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // No weights configured, so q is already in metric space.
+    size_t contained = 0;
+    for (uint64_t id = 0; id < t.index->points().size(); ++id) {
+      if (!t.index->IsAlive(id)) continue;
+      ASSERT_EQ(t.index->CellRects(id).size(), 1u);
+      if (t.index->CellRects(id)[0].ContainsPoint(q.data())) ++contained;
+    }
+    EXPECT_GE(r->candidates, 1u);
+    EXPECT_EQ(r->candidates, contained);
+    total_candidates += r->candidates;
+  }
+
+  metrics::Registry::SetEnabled(was_enabled);
+#if NNCELL_METRICS
+  EXPECT_EQ(cand_counter->Value() - cand_before, total_candidates);
+#else
+  (void)cand_before;
+  (void)total_candidates;
+#endif
+}
 
 // Weighted metrics ride the same isometry argument: the index searches in
 // sqrt(w)-scaled space, so an oracle scanning the scaled coordinates must

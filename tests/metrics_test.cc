@@ -1,0 +1,220 @@
+// Unit tests of the metrics layer (common/metrics.h): striped counter and
+// histogram aggregation under threads, gauge semantics, registry lookup
+// discipline, snapshot determinism and the runtime enable switch the
+// NNCELL_METRIC_* macros honor.
+
+#include "common/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics_names.h"
+
+namespace nncell {
+namespace metrics {
+namespace {
+
+// Every test leaves the global registry zeroed and disabled so tests stay
+// order-independent within this binary.
+class MetricsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::SetEnabled(false);
+    Registry::Global().ResetAll();
+  }
+  void TearDown() override {
+    Registry::SetEnabled(false);
+    Registry::Global().ResetAll();
+  }
+};
+
+TEST_F(MetricsTest, CounterAddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST_F(MetricsTest, CounterAggregatesAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);  // gauges may go negative (unlike counters)
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndSum) {
+  Histogram h;
+  h.Record(1);     // bucket 0 (<= 1)
+  h.Record(2);     // bucket 1 (<= 2)
+  h.Record(3);     // bucket 2 (<= 4)
+  h.Record(4096);  // last bounded bucket
+  h.Record(4097);  // overflow bucket
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 1u + 2 + 3 + 4096 + 4097);
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), kHistogramBuckets);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[kHistogramBuckets - 2], 1u);
+  EXPECT_EQ(buckets.back(), 1u);  // overflow
+}
+
+TEST_F(MetricsTest, HistogramAggregatesAcrossThreads) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  // sum = kRecordsPerThread * (1 + 2 + ... + kThreads)
+  EXPECT_EQ(h.Sum(), static_cast<uint64_t>(kRecordsPerThread) * kThreads *
+                         (kThreads + 1) / 2);
+}
+
+TEST_F(MetricsTest, RegistryHandlesAreStableAndKindChecked) {
+  Registry& r = Registry::Global();
+  Counter* c1 = r.counter(kPoolLogicalReads);
+  Counter* c2 = r.counter(kPoolLogicalReads);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1, c2);  // handles live for the process lifetime
+  EXPECT_NE(r.gauge(kPoolPinnedFrames), nullptr);
+  EXPECT_NE(r.histogram(kQueryCandidatesPerQuery), nullptr);
+}
+
+TEST_F(MetricsTest, SnapshotCoversEveryRegisteredMetric) {
+  Snapshot snap = Registry::Global().TakeSnapshot();
+  ASSERT_EQ(snap.entries.size(), kNumMetricDefs);
+  // Sorted by name, and every def from the single source of truth appears.
+  for (size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+  for (size_t i = 0; i < kNumMetricDefs; ++i) {
+    const SnapshotEntry* e = snap.Find(kMetricDefs[i].name);
+    ASSERT_NE(e, nullptr) << kMetricDefs[i].name;
+    EXPECT_EQ(e->kind, kMetricDefs[i].kind);
+  }
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsDeterministic) {
+  Registry& r = Registry::Global();
+  Registry::SetEnabled(true);
+  r.counter(kLpRuns)->Add(42);
+  r.histogram(kQueryCandidatesPerQuery)->Record(17);
+  Registry::SetEnabled(false);
+  std::string a = r.SnapshotJson();
+  std::string b = r.SnapshotJson();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"lp.solver.runs\":42"), std::string::npos) << a;
+  // Pretty-printing changes line structure only, never keys or values.
+  std::string pretty = r.SnapshotJson(2);
+  EXPECT_NE(pretty.find("  \"lp.solver.runs\":42"), std::string::npos)
+      << pretty;
+}
+
+TEST_F(MetricsTest, ResetAllZeroesEverything) {
+  Registry& r = Registry::Global();
+  Registry::SetEnabled(true);
+  r.counter(kQueryCount)->Add(3);
+  r.gauge(kPoolPinnedFrames)->Set(2);
+  r.histogram(kQueryCandidatesPerQuery)->Record(9);
+  Registry::SetEnabled(false);
+  r.ResetAll();
+  Snapshot snap = r.TakeSnapshot();
+  for (const SnapshotEntry& e : snap.entries) {
+    EXPECT_EQ(e.value, 0u) << e.name;
+    EXPECT_EQ(e.gauge, 0) << e.name;
+    EXPECT_EQ(e.sum, 0u) << e.name;
+  }
+}
+
+#if NNCELL_METRICS
+TEST_F(MetricsTest, MacrosHonorTheRuntimeSwitch) {
+  Registry& r = Registry::Global();
+  Counter* c = r.counter(kQueryCount);
+  Gauge* g = r.gauge(kPoolPinnedFrames);
+  Histogram* h = r.histogram(kQueryCandidatesPerQuery);
+
+  Registry::SetEnabled(false);
+  NNCELL_METRIC_COUNT(c, 7);
+  NNCELL_METRIC_GAUGE_ADD(g, 7);
+  NNCELL_METRIC_RECORD(h, 7);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Count(), 0u);
+
+  Registry::SetEnabled(true);
+  NNCELL_METRIC_COUNT(c, 7);
+  NNCELL_METRIC_GAUGE_ADD(g, 7);
+  NNCELL_METRIC_RECORD(h, 7);
+  Registry::SetEnabled(false);
+  EXPECT_EQ(c->Value(), 7u);
+  EXPECT_EQ(g->Value(), 7);
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_EQ(h->Sum(), 7u);
+}
+#endif  // NNCELL_METRICS
+
+TEST_F(MetricsTest, ConcurrentRegistryWritesAggregateExactly) {
+  Registry& r = Registry::Global();
+  Registry::SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&r] {
+      [[maybe_unused]] Counter* c = r.counter(kIndexNodeVisits);
+      [[maybe_unused]] Histogram* h = r.histogram(kQueryCandidatesPerQuery);
+      for (int i = 0; i < kOps; ++i) {
+        NNCELL_METRIC_COUNT(c, 2);
+        NNCELL_METRIC_RECORD(h, 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  Registry::SetEnabled(false);
+#if NNCELL_METRICS
+  EXPECT_EQ(r.counter(kIndexNodeVisits)->Value(),
+            static_cast<uint64_t>(kThreads) * kOps * 2);
+  EXPECT_EQ(r.histogram(kQueryCandidatesPerQuery)->Count(),
+            static_cast<uint64_t>(kThreads) * kOps);
+#endif
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace nncell

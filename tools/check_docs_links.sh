@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Documentation consistency gate, run by CI (docs-check job) and as the
+# `tool_docs_check` ctest:
+#
+#  1. Every relative markdown link in every tracked *.md file must point at
+#     an existing file or directory.
+#  2. docs/METRICS.md and src/common/metrics_names.h must agree exactly:
+#     every registered metric name is documented, and every documented
+#     metric name exists in the header (the single source of truth).
+#
+# Usage: check_docs_links.sh [repo-root]
+
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT" || exit 2
+
+fail=0
+
+# --- 1. dead relative links ------------------------------------------------
+
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  md_files=$(git ls-files '*.md')
+else
+  md_files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*' \
+             | sed 's|^\./||')
+fi
+
+for f in $md_files; do
+  # Inline links: [text](target). Targets split off any #anchor suffix.
+  links=$(grep -oE '\]\([^)]+\)' "$f" 2>/dev/null | sed -e 's/^](//' -e 's/)$//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ "${target#/}" != "$target" ]; then
+      resolved=".$target"            # leading / = repo-root relative
+    else
+      resolved="$(dirname "$f")/$target"
+    fi
+    if [ ! -e "$resolved" ]; then
+      echo "DEAD LINK: $f -> $link (resolved: $resolved)"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. METRICS.md <-> metrics_names.h ------------------------------------
+
+names_header="src/common/metrics_names.h"
+names_doc="docs/METRICS.md"
+
+for required in "$names_header" "$names_doc"; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING FILE: $required"
+    exit 1
+  fi
+done
+
+# Registered names: the quoted dotted lowercase strings in the header
+# (name constants only; units and help texts never match the pattern).
+src_names=$(grep -oE '"[a-z0-9_]+(\.[a-z0-9_]+)+"' "$names_header" \
+            | tr -d '"' | sort -u)
+# Documented names: backticked dotted lowercase tokens in METRICS.md.
+doc_names=$(grep -oE '`[a-z0-9_]+(\.[a-z0-9_]+)+`' "$names_doc" \
+            | tr -d '`' | sort -u)
+
+undocumented=$(comm -23 <(printf '%s\n' "$src_names") \
+                        <(printf '%s\n' "$doc_names"))
+if [ -n "$undocumented" ]; then
+  echo "UNDOCUMENTED METRICS (in $names_header, missing from $names_doc):"
+  printf '  %s\n' $undocumented
+  fail=1
+fi
+
+stale=$(comm -13 <(printf '%s\n' "$src_names") \
+                 <(printf '%s\n' "$doc_names"))
+if [ -n "$stale" ]; then
+  echo "STALE DOC METRICS (in $names_doc, not registered in $names_header):"
+  printf '  %s\n' $stale
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  n_links=$(printf '%s\n' "$md_files" | wc -l | tr -d ' ')
+  n_names=$(printf '%s\n' "$src_names" | wc -l | tr -d ' ')
+  echo "docs check OK: $n_links markdown files, $n_names metrics in sync"
+fi
+exit "$fail"

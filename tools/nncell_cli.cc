@@ -3,11 +3,24 @@
 //   nncell_cli build  <points.csv> <index.nncell> [--algorithm=sphere]
 //                     [--decompose=K] [--xtree=0|1] [--threads=N]
 //   nncell_cli query  <index.nncell> <queries.csv> [--k=1] [--threads=N]
-//   nncell_cli stats  <index.nncell>
+//                     [--trace]
+//   nncell_cli stats  <index.nncell> [--json] [--probe-queries=N]
+//                     [--lp-sample=N] [--seed=S]
 //
 // --threads=N runs the build's LP solves / the query batch on N worker
 // threads (0 = one per hardware core). The built index is byte-identical
 // for every thread count.
+//
+// `query --trace` prints, after each result line, the per-stage timeline
+// of that query (index probe -> candidate distance scan -> fallback) as
+// one JSON object; see docs/OPERATIONS.md.
+//
+// `stats --json` emits one stable JSON object ({"index":...,"metrics":...})
+// with the full metrics-registry snapshot after a deterministic probe
+// workload: --probe-queries uniform NN queries (seeded by --seed) exercise
+// the query/index/storage counters, and --lp-sample cell approximations are
+// recomputed (and discarded) to exercise the LP counters. Every metric
+// name is documented in docs/METRICS.md.
 //
 // CSV files contain one point per line, comma-separated coordinates in
 // [0,1]. Lines starting with '#' are skipped. The build command prints
@@ -21,8 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "nncell/nncell_index.h"
+#include "nncell/query_trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
@@ -77,6 +93,13 @@ const char* FlagValue(int argc, char** argv, const char* name) {
     }
   }
   return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 int Build(int argc, char** argv) {
@@ -166,6 +189,25 @@ int Query(int argc, char** argv) {
     threads = std::strtoul(t, nullptr, 10);
     (*index)->SetNumThreads(threads);
   }
+  const bool trace_mode = HasFlag(argc, argv, "--trace");
+  if (trace_mode && k == 1) {
+    // Traced queries run serially: the per-query buffer-pool deltas in the
+    // trace are only exact when queries do not overlap.
+    metrics::Registry::SetEnabled(true);
+    for (size_t i = 0; i < queries->size(); ++i) {
+      QueryTrace trace;
+      auto r = (*index)->Query((*queries)[i], &trace);
+      if (!r.ok()) {
+        std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu\n", i,
+                  static_cast<unsigned long long>(r->id), r->dist,
+                  r->candidates);
+      std::printf("trace %zu: %s\n", i, trace.ToJson().c_str());
+    }
+    return 0;
+  }
   if (k == 1 && (threads == 0 || threads > 1)) {
     // Batched answer path: results are identical to the serial loop below,
     // computed by concurrent readers.
@@ -210,7 +252,9 @@ int Query(int argc, char** argv) {
 
 int Stats(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: nncell_cli stats <index>\n");
+    std::fprintf(stderr,
+                 "usage: nncell_cli stats <index> [--json]"
+                 " [--probe-queries=N] [--lp-sample=N] [--seed=S]\n");
     return 2;
   }
   PageFile file(4096);
@@ -221,19 +265,77 @@ int Stats(int argc, char** argv) {
     return 1;
   }
   auto info = (*index)->TreeInfo();
-  std::printf("points:             %zu (dim %zu)\n", (*index)->size(),
-              (*index)->dim());
-  std::printf("algorithm:          %s\n",
-              ApproxAlgorithmName((*index)->options().algorithm));
-  std::printf("expected candidates:%.2f\n", (*index)->ExpectedCandidates());
-  std::printf("tree height:        %zu\n", info.height);
-  std::printf("tree nodes:         %zu (%zu leaves, %zu supernodes)\n",
-              info.num_nodes, info.num_leaves, info.num_supernodes);
-  std::printf("tree pages:         %zu (%zu bytes)\n", info.total_pages,
-              info.total_pages * 4096);
-  std::printf("validation:         %s\n",
-              (*index)->ValidateTree().empty() ? "OK"
-                                               : (*index)->ValidateTree().c_str());
+  if (!HasFlag(argc, argv, "--json")) {
+    std::printf("points:             %zu (dim %zu)\n", (*index)->size(),
+                (*index)->dim());
+    std::printf("algorithm:          %s\n",
+                ApproxAlgorithmName((*index)->options().algorithm));
+    std::printf("expected candidates:%.2f\n", (*index)->ExpectedCandidates());
+    std::printf("tree height:        %zu\n", info.height);
+    std::printf("tree nodes:         %zu (%zu leaves, %zu supernodes)\n",
+                info.num_nodes, info.num_leaves, info.num_supernodes);
+    std::printf("tree pages:         %zu (%zu bytes)\n", info.total_pages,
+                info.total_pages * 4096);
+    std::printf("validation:         %s\n",
+                (*index)->ValidateTree().empty()
+                    ? "OK"
+                    : (*index)->ValidateTree().c_str());
+    std::printf("(run with --json for the full metrics snapshot)\n");
+    return 0;
+  }
+
+  // --json: run a deterministic probe workload with metrics enabled, then
+  // dump {"index": <index facts>, "metrics": <registry snapshot>}.
+  size_t probe_queries = 16;
+  size_t lp_sample = 8;
+  uint64_t seed = 0x5eed;
+  if (const char* v = FlagValue(argc, argv, "--probe-queries")) {
+    probe_queries = std::strtoul(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--lp-sample")) {
+    lp_sample = std::strtoul(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--seed")) {
+    seed = std::strtoull(v, nullptr, 10);
+  }
+
+  metrics::Registry& registry = metrics::Registry::Global();
+  registry.ResetAll();
+  metrics::Registry::SetEnabled(true);
+  Rng rng(seed);
+  std::vector<double> q((*index)->dim());
+  for (size_t t = 0; t < probe_queries; ++t) {
+    for (auto& v : q) v = rng.NextDouble();
+    auto r = (*index)->Query(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "probe query failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  // Recompute (and discard) a few cell approximations so the LP pipeline
+  // counters reflect this index, not just zeros.
+  (void)(*index)->MeasureApproxEffort(lp_sample, seed);
+  metrics::Registry::SetEnabled(false);
+
+  char buf[512];
+  std::string out = "{\"index\":{";
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"algorithm\":\"%s\",\"dim\":%zu,\"expected_candidates\":%.4f,"
+      "\"lp_sample\":%zu,\"points\":%zu,\"probe_queries\":%zu,"
+      "\"tree_height\":%zu,\"tree_leaves\":%zu,\"tree_nodes\":%zu,"
+      "\"tree_pages\":%zu,\"tree_supernodes\":%zu,\"validation\":\"%s\"",
+      ApproxAlgorithmName((*index)->options().algorithm), (*index)->dim(),
+      (*index)->ExpectedCandidates(), lp_sample, (*index)->size(),
+      probe_queries, info.height, info.num_leaves, info.num_nodes,
+      info.total_pages, info.num_supernodes,
+      (*index)->ValidateTree().empty() ? "OK" : "FAILED");
+  out += buf;
+  out += "},\"metrics\":";
+  out += registry.SnapshotJson();
+  out += "}";
+  std::printf("%s\n", out.c_str());
   return 0;
 }
 
@@ -245,8 +347,10 @@ int main(int argc, char** argv) {
                  "usage: nncell_cli <build|query|stats> ...\n"
                  "  build <points.csv> <out.nncell> [--algorithm=A]"
                  " [--decompose=K] [--xtree=0|1] [--threads=N]\n"
-                 "  query <index.nncell> <queries.csv> [--k=N] [--threads=N]\n"
-                 "  stats <index.nncell>\n");
+                 "  query <index.nncell> <queries.csv> [--k=N] [--threads=N]"
+                 " [--trace]\n"
+                 "  stats <index.nncell> [--json] [--probe-queries=N]"
+                 " [--lp-sample=N] [--seed=S]\n");
     return 2;
   }
   std::string cmd = argv[1];
