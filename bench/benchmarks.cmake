@@ -34,7 +34,7 @@ nncell_add_fig(extension_parallel)
 nncell_add_fig(bench_regress)
 target_link_libraries(model_vs_measured PRIVATE nncell_model)
 
-foreach(micro micro_lp micro_trees micro_metrics)
+foreach(micro micro_lp micro_trees micro_metrics micro_persistence)
   add_executable(${micro} ${CMAKE_SOURCE_DIR}/bench/${micro}.cc)
   target_include_directories(${micro} PRIVATE ${CMAKE_SOURCE_DIR})
   set_target_properties(${micro} PROPERTIES
@@ -43,3 +43,4 @@ endforeach()
 target_link_libraries(micro_lp PRIVATE nncell_geom nncell_lp benchmark::benchmark)
 target_link_libraries(micro_trees PRIVATE nncell_data nncell_rstar nncell_xtree benchmark::benchmark)
 target_link_libraries(micro_metrics PRIVATE nncell_geom nncell_lp benchmark::benchmark)
+target_link_libraries(micro_persistence PRIVATE nncell_core nncell_data benchmark::benchmark)

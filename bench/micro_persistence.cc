@@ -1,0 +1,137 @@
+// Microbenchmarks of the durability layer: CRC32C throughput, WAL append
+// under the group-commit policies, and snapshot serialize/save/load. These
+// bound the overhead a durable index adds to Insert/Delete (one record
+// append + fsync per acknowledged operation) and to Checkpoint.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "nncell/nncell_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/fs_util.h"
+#include "storage/page_file.h"
+#include "storage/wal.h"
+
+namespace nncell {
+namespace {
+
+std::string TmpPath(const std::string& tag) {
+  return std::filesystem::temp_directory_path().string() +
+         "/nncell_micro_persistence_" + tag;
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<uint8_t> buf(bytes);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+// One WAL append of an insert-sized record under group_sync = N. With
+// N = 1 every iteration pays an fsync (the per-operation durability cost);
+// larger N amortizes it across the group.
+void BM_WalAppend(benchmark::State& state) {
+  const size_t group_sync = static_cast<size_t>(state.range(0));
+  const std::string path =
+      TmpPath("wal_" + std::to_string(group_sync) + ".log");
+  std::remove(path.c_str());
+  auto wal = WriteAheadLog::Open(path, 0, group_sync, false, nullptr);
+  if (!wal.ok()) {
+    state.SkipWithError(wal.status().ToString().c_str());
+    return;
+  }
+  // An insert record for a 16-d point: op + id + dim + coordinates.
+  const std::string payload(1 + 8 + 4 + 16 * 8, 'x');
+  for (auto _ : state) {
+    Status st = (*wal)->Append(payload);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  wal->reset();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WalAppend)->Arg(1)->Arg(8)->Arg(64);
+
+// Full snapshot serialization + atomic write for an index of N points
+// (Checkpoint's cost, minus the log truncation).
+void BM_SnapshotSave(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  PageFile file(4096);
+  BufferPool pool(&file, 4096);
+  NNCellOptions options;
+  options.algorithm = ApproxAlgorithm::kSphere;
+  NNCellIndex index(&pool, 4, options);
+  Status built = index.BulkBuild(GenerateUniform(n, 4, 7));
+  if (!built.ok()) {
+    state.SkipWithError(built.ToString().c_str());
+    return;
+  }
+  const std::string path = TmpPath("snap_" + std::to_string(n) + ".nncell");
+  for (auto _ : state) {
+    Status st = index.Save(path);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  auto size = std::filesystem::file_size(path);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSave)->Arg(100)->Arg(1000);
+
+// Validate + load the same snapshot (recovery's snapshot phase, including
+// every checksum pass).
+void BM_SnapshotLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::string path = TmpPath("load_" + std::to_string(n) + ".nncell");
+  {
+    PageFile file(4096);
+    BufferPool pool(&file, 4096);
+    NNCellOptions options;
+    options.algorithm = ApproxAlgorithm::kSphere;
+    NNCellIndex index(&pool, 4, options);
+    Status built = index.BulkBuild(GenerateUniform(n, 4, 7));
+    Status saved = built.ok() ? index.Save(path) : built;
+    if (!saved.ok()) {
+      state.SkipWithError(saved.ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    PageFile file(4096);
+    BufferPool pool(&file, 4096);
+    auto loaded = NNCellIndex::Load(path, &file, &pool);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded->get());
+  }
+  auto size = std::filesystem::file_size(path);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace nncell
+
+BENCHMARK_MAIN();

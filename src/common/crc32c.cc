@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+namespace nncell {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // Castagnoli, reflected
+
+struct Table {
+  uint32_t t[256];
+};
+
+constexpr Table MakeTable() {
+  Table table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+    }
+    table.t[i] = c;
+  }
+  return table;
+}
+
+constexpr Table kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace nncell

@@ -1,0 +1,25 @@
+#ifndef NNCELL_COMMON_CRC32C_H_
+#define NNCELL_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nncell {
+
+// CRC-32C (Castagnoli, reflected polynomial 0x82f63b78), the checksum used
+// by every on-disk structure (snapshot sections, page images, WAL records;
+// see docs/PERSISTENCE.md). Software table implementation -- throughput is
+// measured by bench/micro_persistence.cc and is far above what the
+// simulated page store needs.
+
+// Extends a finished checksum with more bytes: Crc32cExtend(Crc32c(a), b)
+// == Crc32c(a concat b). The empty-prefix seed is 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_CRC32C_H_

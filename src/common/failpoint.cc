@@ -1,0 +1,98 @@
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+#include <map>
+#include <mutex>
+
+namespace nncell {
+namespace failpoint {
+
+void Crash() { _exit(kCrashExitCode); }
+
+#if NNCELL_FAILPOINTS
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Action action = Action::kOff;
+  int skip = 0;
+  bool armed = false;
+  uint64_t evaluations = 0;
+};
+
+std::mutex& Mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, SiteState>& Sites() {
+  static std::map<std::string, SiteState> sites;
+  return sites;
+}
+
+}  // namespace
+
+namespace internal {
+
+Action CheckSlow(const char* name) {
+  std::lock_guard<std::mutex> lock(Mu());
+  SiteState& site = Sites()[name];
+  ++site.evaluations;
+  if (!site.armed) return Action::kOff;
+  if (site.skip > 0) {
+    --site.skip;
+    return Action::kOff;
+  }
+  // One-shot: fire and disarm, so recovery re-running the site succeeds.
+  site.armed = false;
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  return site.action;
+}
+
+}  // namespace internal
+
+void Arm(const std::string& name, Action action, int skip) {
+  std::lock_guard<std::mutex> lock(Mu());
+  SiteState& site = Sites()[name];
+  if (!site.armed) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  site.armed = true;
+  site.action = action;
+  site.skip = skip;
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mu());
+  auto it = Sites().find(name);
+  if (it != Sites().end() && it->second.armed) {
+    it->second.armed = false;
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mu());
+  for (auto& [name, site] : Sites()) {
+    if (site.armed) {
+      internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    site = SiteState{};
+  }
+}
+
+uint64_t Evaluations(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mu());
+  auto it = Sites().find(name);
+  return it == Sites().end() ? 0 : it->second.evaluations;
+}
+
+#endif  // NNCELL_FAILPOINTS
+
+}  // namespace failpoint
+}  // namespace nncell

@@ -35,6 +35,20 @@ inline constexpr char kFileReadPages[] = "storage.file.read_pages";
 inline constexpr char kFileWritePages[] = "storage.file.write_pages";
 inline constexpr char kFileReadBytes[] = "storage.file.read_bytes";
 inline constexpr char kFileWriteBytes[] = "storage.file.write_bytes";
+inline constexpr char kSnapshotSaves[] = "storage.snapshot.saves";
+inline constexpr char kSnapshotSaveBytes[] = "storage.snapshot.save_bytes";
+inline constexpr char kSnapshotLoads[] = "storage.snapshot.loads";
+inline constexpr char kSnapshotLoadFailures[] =
+    "storage.snapshot.load_failures";
+
+// --- wal (durable insert/delete log) --------------------------------------
+inline constexpr char kWalRecordsAppended[] = "wal.records.appended";
+inline constexpr char kWalRecordsReplayed[] = "wal.records.replayed";
+inline constexpr char kWalRecordsSkipped[] = "wal.records.skipped";
+inline constexpr char kWalBytesAppended[] = "wal.bytes.appended";
+inline constexpr char kWalFsyncs[] = "wal.log.fsyncs";
+inline constexpr char kWalTailTruncations[] = "wal.log.tail_truncations";
+inline constexpr char kWalCheckpoints[] = "wal.log.checkpoints";
 
 // --- index (R*/X-tree) ---------------------------------------------------
 inline constexpr char kIndexNodeVisits[] = "index.tree.node_visits";
@@ -80,6 +94,28 @@ inline constexpr MetricDef kMetricDefs[] = {
      "PageFile::Write calls (simulated disk write syscalls)"},
     {kFileReadBytes, Kind::kCounter, "bytes", "bytes read from PageFiles"},
     {kFileWriteBytes, Kind::kCounter, "bytes", "bytes written to PageFiles"},
+    {kSnapshotSaves, Kind::kCounter, "snapshots",
+     "checksummed index snapshots written (atomic temp+rename)"},
+    {kSnapshotSaveBytes, Kind::kCounter, "bytes",
+     "bytes written into snapshot images"},
+    {kSnapshotLoads, Kind::kCounter, "snapshots",
+     "snapshot images loaded successfully"},
+    {kSnapshotLoadFailures, Kind::kCounter, "snapshots",
+     "snapshot loads rejected (truncation, checksum, version skew)"},
+    {kWalRecordsAppended, Kind::kCounter, "records",
+     "insert/delete records appended to the write-ahead log"},
+    {kWalRecordsReplayed, Kind::kCounter, "records",
+     "WAL records re-applied during recovery"},
+    {kWalRecordsSkipped, Kind::kCounter, "records",
+     "WAL records skipped at recovery (already covered by the snapshot)"},
+    {kWalBytesAppended, Kind::kCounter, "bytes",
+     "bytes appended to the write-ahead log (headers included)"},
+    {kWalFsyncs, Kind::kCounter, "syncs",
+     "fsync calls issued by the WAL group-commit policy"},
+    {kWalTailTruncations, Kind::kCounter, "events",
+     "torn WAL tails truncated during recovery"},
+    {kWalCheckpoints, Kind::kCounter, "checkpoints",
+     "Checkpoint() folds of the WAL into a fresh snapshot"},
     {kIndexNodeVisits, Kind::kCounter, "nodes",
      "tree nodes visited by point/range/leaf-page queries"},
     {kIndexLeafVisits, Kind::kCounter, "nodes",

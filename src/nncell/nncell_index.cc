@@ -10,6 +10,7 @@
 #include "common/metrics_names.h"
 #include "common/rng.h"
 #include "rstar/rstar_tree.h"
+#include "storage/wal.h"
 #include "xtree/xtree.h"
 
 namespace nncell {
@@ -249,6 +250,12 @@ StatusOr<uint64_t> NNCellIndex::Insert(const std::vector<double>& original) {
   if (original.size() != dim_) {
     return Status::InvalidArgument("dimension mismatch");
   }
+  // Durable mode: validate the operation, then log it before any mutation
+  // (write-ahead). A record is only ever appended for an insert that will
+  // succeed, so replay never hits a rejection.
+  if (wal_ != nullptr) {
+    NNCELL_RETURN_IF_ERROR(LogInsert(original));
+  }
   std::vector<double> point = ToMetricSpace(original.data());
   // 1. Find the cells the new point will shrink. Stale approximations
   // remain correct supersets of the shrunk cells, so maintenance is a
@@ -295,6 +302,9 @@ StatusOr<uint64_t> NNCellIndex::Insert(const std::vector<double>& original) {
 
 Status NNCellIndex::Delete(uint64_t id) {
   if (!IsAlive(id)) return Status::NotFound("no live point with this id");
+  if (wal_ != nullptr) {
+    NNCELL_RETURN_IF_ERROR(LogDelete(id));
+  }
 
   // Cells adjacent to the deleted cell may grow into the freed region,
   // which is contained in the deleted cell and hence in its MBR union:
@@ -400,6 +410,9 @@ Status NNCellIndex::BulkBuild(const PointSet& pts) {
       }
       cell_rects_[id] = std::move(computed[i]);
     }
+    // Durable mode: the bulk load becomes durable via one checkpoint
+    // instead of one WAL record per point.
+    if (wal_ != nullptr) return Checkpoint();
     return Status::OK();
   }
   for (uint64_t id : ids) {
@@ -411,6 +424,7 @@ Status NNCellIndex::BulkBuild(const PointSet& pts) {
     }
     cell_rects_[id] = std::move(rects);
   }
+  if (wal_ != nullptr) return Checkpoint();
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/hyper_rect.h"
@@ -19,6 +20,8 @@
 #include "storage/buffer_pool.h"
 
 namespace nncell {
+
+class WriteAheadLog;
 
 // How existing cells are repaired after a dynamic insert. A new point only
 // ever *shrinks* cells, and a stale (larger) approximation is still a
@@ -236,9 +239,14 @@ class NNCellIndex {
                          uint64_t seed = 0x5eed) const;
 
   // Persistence: writes the complete index -- options, point table,
-  // approximations and both page files -- as one binary image. Restoring
-  // replaces the contents of `file` (the cell-index storage `pool` wraps;
-  // page size must match the saved one).
+  // approximations and both page files -- as one checksummed snapshot
+  // (format v2, docs/PERSISTENCE.md). Save(path) writes atomically via
+  // temp file + fsync + rename, so a crash mid-save leaves the previous
+  // snapshot intact. Restoring replaces the contents of `file` (the
+  // cell-index storage `pool` wraps; page size must match the saved one),
+  // and is all-or-nothing: on any error -- truncation, checksum mismatch,
+  // version skew -- `file`, `pool` and the returned Status describe the
+  // first violation and nothing has been mutated.
   Status Save(std::ostream& out) const;
   Status Save(const std::string& path) const;
   static StatusOr<std::unique_ptr<NNCellIndex>> Load(std::istream& in,
@@ -247,6 +255,54 @@ class NNCellIndex {
   static StatusOr<std::unique_ptr<NNCellIndex>> Load(const std::string& path,
                                                      PageFile* file,
                                                      BufferPool* pool);
+
+  // --- Durable mode --------------------------------------------------------
+
+  struct DurableOptions {
+    size_t page_size = 4096;   // used when creating a fresh durable index
+    size_t pool_pages = 4096;  // cell-index buffer pool capacity
+    // WAL group-commit granularity: fsync every N-th append. 1 = every
+    // acknowledged Insert/Delete is durable before it returns; N > 1
+    // trades the tail of < N acknowledged operations against fsync cost.
+    size_t wal_group_sync = 1;
+  };
+
+  // What Open() found and did; for operators and the recovery tests.
+  struct RecoveryInfo {
+    bool snapshot_loaded = false;       // a snapshot existed and parsed
+    bool created = false;               // neither snapshot nor usable WAL
+    uint64_t snapshot_wal_lsn = 0;      // WAL position the snapshot covers
+    uint64_t wal_records_replayed = 0;  // records re-applied after it
+    uint64_t wal_records_skipped = 0;   // records the snapshot already held
+    uint64_t wal_torn_bytes = 0;        // torn WAL tail truncated
+  };
+
+  // Opens (or creates) a durable index rooted at directory `dir`:
+  // loads `dir`/snapshot.nncell if present, replays the WAL tail from
+  // `dir`/wal.log (skipping records the snapshot already covers,
+  // truncating a torn final record), and arms the WAL so every later
+  // Insert/Delete is logged before it mutates the index. `dim` must match
+  // an existing snapshot, or be the dimension of the new index when the
+  // directory is empty (0 = "whatever the snapshot says", creation error
+  // when there is none). Corruption anywhere -- snapshot or mid-WAL --
+  // surfaces as a precise error, never as a silently wrong index.
+  static StatusOr<std::unique_ptr<NNCellIndex>> Open(
+      const std::string& dir, size_t dim, NNCellOptions options,
+      DurableOptions dopts, RecoveryInfo* info = nullptr);
+  static StatusOr<std::unique_ptr<NNCellIndex>> Open(const std::string& dir,
+                                                     size_t dim,
+                                                     NNCellOptions options) {
+    return Open(dir, dim, std::move(options), DurableOptions(), nullptr);
+  }
+
+  // Folds the WAL into a fresh snapshot: atomically writes the snapshot
+  // (recording the covered WAL position), then truncates the log. A crash
+  // between the two steps is safe -- the next Open skips the already-
+  // covered records by LSN. Durable mode only.
+  Status Checkpoint();
+
+  // True when this index was created by Open() and logs to a WAL.
+  bool durable() const { return wal_ != nullptr; }
 
  private:
   // Candidate constraint points for `point` (not yet inserted) per the
@@ -279,11 +335,41 @@ class NNCellIndex {
   StatusOr<uint64_t> RegisterPoint(const std::vector<double>& point,
                                    bool insert_into_point_tree);
 
+  // Serializes the full snapshot image (header, metadata, both page
+  // files, footer) recording `wal_lsn` as the WAL position it covers.
+  Status SerializeSnapshot(std::string* out, uint64_t wal_lsn) const;
+
+  // Validates and loads one snapshot image. All-or-nothing: `file` and
+  // `pool` are only mutated after every checksum and structural check has
+  // passed. `wal_lsn` receives the WAL position the snapshot covers.
+  static StatusOr<std::unique_ptr<NNCellIndex>> LoadImage(
+      const uint8_t* data, size_t size, PageFile* file, BufferPool* pool,
+      uint64_t* wal_lsn);
+
+  // Reads the page size out of a snapshot header (validating magic,
+  // version and header checksum only) so Open can size the PageFile.
+  static StatusOr<size_t> PeekSnapshotPageSize(const std::string& image);
+
+  // Durable-mode write-ahead hooks (durability.cc): LogInsert/LogDelete
+  // re-run the operation's preconditions and append its WAL record, so a
+  // record is only ever logged for an operation that will succeed;
+  // ReplayWalRecord re-applies one recovered record.
+  Status LogInsert(const std::vector<double>& original);
+  Status LogDelete(uint64_t id);
+  Status ReplayWalRecord(const std::vector<uint8_t>& payload);
+
   size_t dim_;
   NNCellOptions options_;
   HyperRect space_;
   PointSet points_;
   CellApproximator approximator_;
+
+  // Durable-mode storage, owned by the index (in-memory indexes borrow
+  // the caller's pool instead and leave these null). Declared before
+  // tree_ so the pool the tree flushes into outlives it.
+  std::unique_ptr<PageFile> durable_file_;
+  std::unique_ptr<BufferPool> durable_pool_;
+
   std::unique_ptr<RTreeCore> tree_;  // indexes the cell approximations
 
   // Workers for BulkBuild fan-out and QueryBatch; nullptr when the
@@ -301,6 +387,10 @@ class NNCellIndex {
   size_t live_count_ = 0;
   std::map<std::vector<double>, uint64_t> point_lookup_;  // duplicate check
   NNCellBuildStats build_stats_;
+
+  // Durable mode (set by Open): operations append here before mutating.
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::string durable_dir_;
 };
 
 }  // namespace nncell

@@ -1,0 +1,81 @@
+#ifndef NNCELL_NNCELL_WAL_RECORDS_H_
+#define NNCELL_NNCELL_WAL_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/durable_format.h"
+#include "storage/wire.h"
+
+namespace nncell {
+namespace walrec {
+
+// Payload encoding of the durable index's WAL records (the framing --
+// length, checksum, LSN -- lives in storage/wal.h; byte-level layout in
+// docs/PERSISTENCE.md):
+//   insert: u8 op = kWalOpInsert, u64 expected_id, u32 dim,
+//           dim x f64 coordinates (original, pre-metric-transform space)
+//   delete: u8 op = kWalOpDelete, u64 id
+// Inserts carry the id the index must assign on replay; a mismatch means
+// the log and the snapshot disagree and recovery fails loudly.
+
+inline std::string EncodeInsert(uint64_t expected_id,
+                                const std::vector<double>& point) {
+  std::string payload;
+  wire::PutU8(&payload, durable::kWalOpInsert);
+  wire::PutU64(&payload, expected_id);
+  wire::PutU32(&payload, static_cast<uint32_t>(point.size()));
+  wire::PutBytes(&payload, point.data(), point.size() * sizeof(double));
+  return payload;
+}
+
+inline std::string EncodeDelete(uint64_t id) {
+  std::string payload;
+  wire::PutU8(&payload, durable::kWalOpDelete);
+  wire::PutU64(&payload, id);
+  return payload;
+}
+
+struct Decoded {
+  uint8_t op = 0;
+  uint64_t id = 0;             // expected insert id, or the deleted id
+  std::vector<double> point;   // insert only
+};
+
+inline Status Decode(const std::vector<uint8_t>& payload, Decoded* out) {
+  wire::Reader r(payload.data(), payload.size());
+  if (!r.GetU8(&out->op)) {
+    return Status::InvalidArgument("wal record payload empty");
+  }
+  switch (out->op) {
+    case durable::kWalOpInsert: {
+      uint32_t dim = 0;
+      if (!r.GetU64(&out->id) || !r.GetU32(&dim) ||
+          dim > r.remaining() / sizeof(double)) {
+        return Status::InvalidArgument("wal insert record truncated");
+      }
+      out->point.resize(dim);
+      r.GetBytes(out->point.data(), dim * sizeof(double));
+      break;
+    }
+    case durable::kWalOpDelete:
+      if (!r.GetU64(&out->id)) {
+        return Status::InvalidArgument("wal delete record truncated");
+      }
+      break;
+    default:
+      return Status::InvalidArgument("unknown wal record op " +
+                                     std::to_string(out->op));
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("wal record has trailing garbage");
+  }
+  return Status::OK();
+}
+
+}  // namespace walrec
+}  // namespace nncell
+
+#endif  // NNCELL_NNCELL_WAL_RECORDS_H_

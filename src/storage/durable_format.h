@@ -1,0 +1,51 @@
+#ifndef NNCELL_STORAGE_DURABLE_FORMAT_H_
+#define NNCELL_STORAGE_DURABLE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Single source of truth for every constant of the on-disk formats: the
+// checksummed snapshot image, the standalone page-file image, and the
+// write-ahead log. docs/PERSISTENCE.md documents the byte-level layouts,
+// and tools/check_docs_links.sh cross-checks every constant name and value
+// in this header against that document in both directions, so the format
+// documentation cannot drift from the code.
+//
+// Magic values spell an ASCII tag when the u64 is read big-endian
+// (on-disk, little-endian, the bytes appear reversed).
+
+namespace nncell {
+namespace durable {
+
+// --- snapshot image (NNCellIndex::Save / Load / Checkpoint) --------------
+inline constexpr uint64_t kSnapshotMagic = 0x4e4e43454c534e32ULL;  // "NNCELSN2"
+inline constexpr uint64_t kSnapshotFooterMagic = 0x4e4e43454c465432ULL;  // "NNCELFT2"
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr size_t kSnapshotHeaderBytes = 64;
+inline constexpr size_t kSnapshotFooterBytes = 24;
+
+// --- standalone page-file image (PageFile::SaveTo / LoadFrom) ------------
+inline constexpr uint64_t kPageImageMagic = 0x4e4e43454c504632ULL;  // "NNCELPF2"
+inline constexpr uint32_t kPageImageVersion = 2;
+
+// --- write-ahead log ------------------------------------------------------
+inline constexpr uint64_t kWalMagic = 0x4e4e43454c574c31ULL;  // "NNCELWL1"
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr size_t kWalHeaderBytes = 24;
+inline constexpr size_t kWalRecordHeaderBytes = 20;
+// Sanity bound on one record's payload; a parsed length above this is
+// corruption, not a huge record.
+inline constexpr uint32_t kWalMaxPayload = 16777216;
+
+// WAL record payload op codes (first payload byte).
+inline constexpr uint8_t kWalOpInsert = 1;
+inline constexpr uint8_t kWalOpDelete = 2;
+
+// File names inside a durable index directory (NNCellIndex::Open).
+inline constexpr char kSnapshotFileName[] = "snapshot.nncell";
+inline constexpr char kWalFileName[] = "wal.log";
+
+}  // namespace durable
+}  // namespace nncell
+
+#endif  // NNCELL_STORAGE_DURABLE_FORMAT_H_

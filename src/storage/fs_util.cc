@@ -1,0 +1,153 @@
+#include "storage/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace nncell {
+namespace fs {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// RAII fd so every error path closes.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    int f = fd;
+    fd = -1;
+    return f;
+  }
+};
+
+}  // namespace
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    if (IsDirectory(dir)) return Status::OK();
+    return Status::InvalidArgument(dir + " exists and is not a directory");
+  }
+  return Status::Internal(Errno("mkdir " + dir));
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  Fd f;
+  f.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (f.fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("open " + path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(f.fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("read " + path));
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Status WriteAllFd(int fd, std::string_view bytes, const char* fp_name) {
+  failpoint::Action fault = failpoint::Check(fp_name);
+  if (fault == failpoint::Action::kError) {
+    return Status::Internal(std::string(fp_name) + ": injected write error");
+  }
+  size_t limit = bytes.size();
+  if (fault != failpoint::Action::kOff) limit = bytes.size() / 2;
+
+  size_t written = 0;
+  while (written < limit) {
+    ssize_t n = ::write(fd, bytes.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fault == failpoint::Action::kCrash) failpoint::Crash();
+  if (fault == failpoint::Action::kShortWrite) {
+    return Status::Internal(std::string(fp_name) + ": injected short write (" +
+                            std::to_string(limit) + " of " +
+                            std::to_string(bytes.size()) + " bytes)");
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd, const char* fp_name) {
+  failpoint::Action fault = failpoint::Check(fp_name);
+  if (fault == failpoint::Action::kCrash) failpoint::Crash();
+  if (fault != failpoint::Action::kOff) {
+    return Status::Internal(std::string(fp_name) + ": injected fsync failure");
+  }
+  if (::fsync(fd) != 0) return Status::Internal(Errno("fsync"));
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd f;
+    f.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (f.fd < 0) return Status::Internal(Errno("open " + tmp));
+    NNCELL_RETURN_IF_ERROR(WriteAllFd(f.fd, bytes, "fs.atomic_write.data"));
+    NNCELL_RETURN_IF_ERROR(FsyncFd(f.fd, "fs.atomic_write.fsync"));
+    if (::close(f.release()) != 0) {
+      return Status::Internal(Errno("close " + tmp));
+    }
+  }
+
+  if (failpoint::Check("fs.atomic_write.rename") == failpoint::Action::kCrash) {
+    failpoint::Crash();
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(Errno("rename " + tmp + " -> " + path));
+  }
+  if (failpoint::Check("fs.atomic_write.done") == failpoint::Action::kCrash) {
+    failpoint::Crash();
+  }
+
+  // Make the rename itself durable.
+  Fd dir;
+  dir.fd = ::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir.fd < 0) return Status::Internal(Errno("open dir of " + path));
+  if (::fsync(dir.fd) != 0) return Status::Internal(Errno("fsync dir"));
+  return Status::OK();
+}
+
+}  // namespace fs
+}  // namespace nncell

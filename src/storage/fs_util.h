@@ -1,0 +1,47 @@
+#ifndef NNCELL_STORAGE_FS_UTIL_H_
+#define NNCELL_STORAGE_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace nncell {
+namespace fs {
+
+// POSIX file helpers for the durability layer. All fallible operations
+// return Status; the write paths carry the failpoints the crash matrix
+// injects into (names below; semantics in common/failpoint.h).
+
+bool PathExists(const std::string& path);
+bool IsDirectory(const std::string& path);
+
+// Creates `dir` (one level) if it does not exist.
+Status EnsureDirectory(const std::string& dir);
+
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Writes `bytes` into fd at the current offset, looping over partial
+// writes. `fp_name` is the failpoint evaluated before the write: kError
+// fails before writing, kShortWrite writes half then fails, kCrash writes
+// half then _exit()s (the torn write a crash leaves behind).
+Status WriteAllFd(int fd, std::string_view bytes, const char* fp_name);
+
+// fsyncs fd; evaluates failpoint `fp_name` first (kError/kShortWrite fail
+// without syncing, kCrash exits).
+Status FsyncFd(int fd, const char* fp_name);
+
+// Durably replaces `path` with `bytes`: write to `path + ".tmp"`, fsync,
+// rename over `path`, fsync the parent directory. On any error the
+// destination is untouched (the temp file may remain and is overwritten by
+// the next attempt). Failpoints, in order of evaluation:
+//   fs.atomic_write.data    -- during the temp-file data write
+//   fs.atomic_write.fsync   -- before fsyncing the temp file
+//   fs.atomic_write.rename  -- before the rename (temp complete, target old)
+//   fs.atomic_write.done    -- after the rename, before the directory fsync
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+}  // namespace fs
+}  // namespace nncell
+
+#endif  // NNCELL_STORAGE_FS_UTIL_H_

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <ostream>
 
+#include "common/crc32c.h"
 #include "common/metrics.h"
 #include "common/metrics_names.h"
+#include "storage/durable_format.h"
+#include "storage/wire.h"
 
 namespace nncell {
 
@@ -95,50 +99,158 @@ void PageFile::Write(PageId id, const uint8_t* data) {  // writes not declustere
   std::memcpy(PagePtr(id), data, page_size_);
 }
 
-namespace {
-constexpr uint64_t kPageFileMagic = 0x4e4e43454c4c5046ULL;  // "NNCELLPF"
-}  // namespace
+void PageFile::Swap(PageFile& other) {
+  std::swap(page_size_, other.page_size_);
+  pages_.swap(other.pages_);
+  free_list_.swap(other.free_list_);
+}
+
+// Section layout (docs/PERSISTENCE.md):
+//   u64 page_size, u64 num_pages, u64 free_count, u32 header_crc
+//   free_count x u32 free page ids, u32 free_crc
+//   num_pages x [page bytes, u32 page_crc]
+void PageFile::AppendSection(std::string* out) const {
+  std::string header;
+  wire::PutU64(&header, page_size_);
+  wire::PutU64(&header, num_pages());
+  wire::PutU64(&header, free_list_.size());
+  wire::PutU32(&header, Crc32c(header.data(), header.size()));
+  out->append(header);
+
+  std::string free_bytes;
+  for (PageId id : free_list_) wire::PutU32(&free_bytes, id);
+  out->append(free_bytes);
+  wire::PutU32(out, Crc32c(free_bytes.data(), free_bytes.size()));
+
+  for (size_t p = 0; p < num_pages(); ++p) {
+    const uint8_t* page = pages_.data() + p * page_size_;
+    wire::PutBytes(out, page, page_size_);
+    wire::PutU32(out, Crc32c(page, page_size_));
+  }
+}
+
+Status PageFile::ParseSection(const uint8_t* data, size_t size, size_t* pos) {
+  wire::Reader r(data + *pos, size - *pos);
+  uint64_t page_size = 0, pages = 0, free_count = 0;
+  const uint8_t* header_start = r.cur();
+  uint32_t header_crc = 0;
+  if (!r.GetU64(&page_size) || !r.GetU64(&pages) || !r.GetU64(&free_count) ||
+      !r.GetU32(&header_crc)) {
+    return Status::InvalidArgument("page image section truncated (header)");
+  }
+  if (Crc32c(header_start, 24) != header_crc) {
+    return Status::InvalidArgument(
+        "page image section header checksum mismatch");
+  }
+  if (page_size != page_size_) {
+    return Status::InvalidArgument(
+        "page size mismatch: image has " + std::to_string(page_size) +
+        ", file expects " + std::to_string(page_size_));
+  }
+  if (pages > 0xffffffffULL) {  // PageIds are u32; also bounds `need` below
+    return Status::InvalidArgument("corrupt page image: page count " +
+                                   std::to_string(pages) + " implausible");
+  }
+  if (free_count > pages) {
+    return Status::InvalidArgument(
+        "corrupt page image: free count " + std::to_string(free_count) +
+        " exceeds page count " + std::to_string(pages));
+  }
+  const uint64_t need = free_count * 4 + 4 + pages * (page_size + 4);
+  if (r.remaining() < need) {
+    return Status::InvalidArgument(
+        "page image truncated: section needs " + std::to_string(need) +
+        " more bytes, stream has " + std::to_string(r.remaining()));
+  }
+
+  std::vector<PageId> free_list(free_count);
+  const uint8_t* free_start = r.cur();
+  for (uint64_t i = 0; i < free_count; ++i) {
+    uint32_t id = 0;
+    r.GetU32(&id);
+    if (id >= pages) {
+      return Status::InvalidArgument(
+          "corrupt page image: free page id " + std::to_string(id) +
+          " out of range");
+    }
+    free_list[i] = id;
+  }
+  uint32_t free_crc = 0;
+  r.GetU32(&free_crc);
+  if (Crc32c(free_start, free_count * 4) != free_crc) {
+    return Status::InvalidArgument("page image free-list checksum mismatch");
+  }
+
+  std::vector<uint8_t> image(pages * page_size);
+  for (uint64_t p = 0; p < pages; ++p) {
+    uint8_t* dst = image.data() + p * page_size;
+    uint32_t page_crc = 0;
+    r.GetBytes(dst, page_size);
+    r.GetU32(&page_crc);
+    if (Crc32c(dst, page_size) != page_crc) {
+      return Status::InvalidArgument("page " + std::to_string(p) +
+                                     " checksum mismatch");
+    }
+  }
+  NNCELL_CHECK(!r.failed());  // sizes were pre-validated against `need`
+
+  // Fully validated: commit in one step.
+  pages_ = std::move(image);
+  free_list_ = std::move(free_list);
+  *pos += r.pos();
+  return Status::OK();
+}
 
 Status PageFile::SaveTo(std::ostream& out) const {
-  auto put64 = [&out](uint64_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  put64(kPageFileMagic);
-  put64(page_size_);
-  put64(num_pages());
-  put64(free_list_.size());
-  for (PageId id : free_list_) put64(id);
-  out.write(reinterpret_cast<const char*>(pages_.data()),
-            static_cast<std::streamsize>(pages_.size()));
+  std::string buf;
+  wire::PutU64(&buf, durable::kPageImageMagic);
+  wire::PutU32(&buf, durable::kPageImageVersion);
+  wire::PutU32(&buf, Crc32c(buf.data(), buf.size()));
+  AppendSection(&buf);
+  wire::PutU32(&buf, Crc32c(buf.data(), buf.size()));  // whole-image crc
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   if (!out.good()) return Status::Internal("page file write failed");
   return Status::OK();
 }
 
 Status PageFile::LoadFrom(std::istream& in) {
-  // Replaces the current image entirely; any BufferPool on top must call
-  // Invalidate() afterwards.
-  auto get64 = [&in]() {
-    uint64_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  if (get64() != kPageFileMagic) {
-    return Status::InvalidArgument("bad page file magic");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  wire::Reader r(bytes, data.size());
+  uint64_t magic = 0;
+  uint32_t version = 0, header_crc = 0;
+  if (!r.GetU64(&magic) || !r.GetU32(&version) || !r.GetU32(&header_crc)) {
+    return Status::InvalidArgument("page file image truncated (envelope)");
   }
-  uint64_t page_size = get64();
-  if (page_size != page_size_) {
-    return Status::InvalidArgument("page size mismatch");
+  if (magic != durable::kPageImageMagic) {
+    return Status::InvalidArgument("not a page file image (bad magic)");
   }
-  uint64_t pages = get64();
-  uint64_t free_count = get64();
-  free_list_.resize(free_count);
-  for (uint64_t i = 0; i < free_count; ++i) {
-    free_list_[i] = static_cast<PageId>(get64());
+  if (version != durable::kPageImageVersion) {
+    return Status::InvalidArgument(
+        "unsupported page image version " + std::to_string(version) +
+        " (supported: " + std::to_string(durable::kPageImageVersion) + ")");
   }
-  pages_.resize(pages * page_size_);
-  in.read(reinterpret_cast<char*>(pages_.data()),
-          static_cast<std::streamsize>(pages_.size()));
-  if (!in.good()) return Status::InvalidArgument("truncated page file");
+  if (Crc32c(bytes, 12) != header_crc) {
+    return Status::InvalidArgument("page file envelope checksum mismatch");
+  }
+  if (data.size() < 20) {
+    return Status::InvalidArgument("page file image truncated (no trailer)");
+  }
+  uint32_t image_crc = 0;
+  std::memcpy(&image_crc, bytes + data.size() - 4, 4);
+  if (Crc32c(bytes, data.size() - 4) != image_crc) {
+    return Status::InvalidArgument("page file image checksum mismatch");
+  }
+
+  // Parse into a scratch file; the live image is replaced only on success.
+  PageFile parsed(page_size_);
+  size_t pos = 16;
+  NNCELL_RETURN_IF_ERROR(parsed.ParseSection(bytes, data.size() - 4, &pos));
+  if (pos != data.size() - 4) {
+    return Status::InvalidArgument("page file image has trailing garbage");
+  }
+  Swap(parsed);
   return Status::OK();
 }
 

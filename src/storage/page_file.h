@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -79,11 +80,28 @@ class PageFile {
   }
   uint64_t MaxDiskReads() const;
 
-  // Persistence: dumps/restores the full page image and free list.
-  // LoadFrom replaces the current image (page size must match); any
-  // BufferPool on top must be Invalidate()d afterwards.
+  // Persistence (format v2, docs/PERSISTENCE.md): the page image and free
+  // list as a checksummed section -- CRC32C'd section header and free
+  // list, one CRC32C per page. AppendSection emits the section bytes;
+  // ParseSection consumes one section from data[*pos..size), advancing
+  // *pos. Parsing is all-or-nothing: on any error (truncation, checksum
+  // mismatch, size mismatch, corrupt free list) the file is left exactly
+  // as it was and a precise Status describes the first violation.
+  void AppendSection(std::string* out) const;
+  Status ParseSection(const uint8_t* data, size_t size, size_t* pos);
+
+  // Standalone image: a magic/version/CRC envelope around one section.
+  // LoadFrom consumes the whole stream, validates everything, and only
+  // then replaces the current image (page size must match; any BufferPool
+  // on top must be Invalidate()d afterwards). Failure leaves the file
+  // untouched.
   Status SaveTo(std::ostream& out) const;
   Status LoadFrom(std::istream& in);
+
+  // Exchanges page image and free list with `other` (page sizes may
+  // differ); access counters stay put. Used to commit a fully validated
+  // parse in one step.
+  void Swap(PageFile& other);
 
  private:
   uint8_t* PagePtr(PageId id) {

@@ -1,0 +1,267 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/metrics_names.h"
+#include "storage/durable_format.h"
+#include "storage/fs_util.h"
+#include "storage/wire.h"
+
+namespace nncell {
+
+namespace {
+
+struct WalMetrics {
+  metrics::Counter* appends;
+  metrics::Counter* append_bytes;
+  metrics::Counter* fsyncs;
+  metrics::Counter* tail_truncations;
+};
+
+[[maybe_unused]] const WalMetrics& Metrics() {
+  static const WalMetrics m = {
+      metrics::Registry::Global().counter(metrics::kWalRecordsAppended),
+      metrics::Registry::Global().counter(metrics::kWalBytesAppended),
+      metrics::Registry::Global().counter(metrics::kWalFsyncs),
+      metrics::Registry::Global().counter(metrics::kWalTailTruncations),
+  };
+  return m;
+}
+
+std::string HeaderBytes(uint64_t start_lsn) {
+  std::string h;
+  wire::PutU64(&h, durable::kWalMagic);
+  wire::PutU32(&h, durable::kWalVersion);
+  wire::PutU64(&h, start_lsn);
+  wire::PutU32(&h, Crc32c(h.data(), h.size()));
+  return h;
+}
+
+uint32_t RecordCrc(uint64_t lsn, const uint8_t* payload, size_t len) {
+  uint32_t crc = Crc32c(&lsn, sizeof(lsn));
+  return Crc32cExtend(crc, payload, len);
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, int fd, uint64_t next_lsn,
+                             size_t group_sync)
+    : path_(std::move(path)),
+      fd_(fd),
+      next_lsn_(next_lsn),
+      group_sync_(group_sync == 0 ? 1 : group_sync) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, uint64_t create_start_lsn, size_t group_sync,
+    bool strict_header, RecoverResult* recovered) {
+  RecoverResult local;
+  RecoverResult& rec = recovered ? *recovered : local;
+  rec = RecoverResult{};
+
+  std::string data;
+  bool exists = fs::PathExists(path);
+  if (exists) {
+    auto read = fs::ReadFileToString(path);
+    if (!read.ok()) return read.status();
+    data = std::move(*read);
+  }
+
+  uint64_t start_lsn = create_start_lsn;
+  size_t valid_end = durable::kWalHeaderBytes;
+  if (!exists || data.size() < durable::kWalHeaderBytes) {
+    if (exists && strict_header) {
+      return Status::InvalidArgument(
+          "wal header truncated (" + std::to_string(data.size()) +
+          " bytes): " + path);
+    }
+    // Fresh log (or the torn remains of the very first creation).
+    NNCELL_RETURN_IF_ERROR(fs::WriteFileAtomic(path, HeaderBytes(start_lsn)));
+    rec.created = true;
+    rec.start_lsn = start_lsn;
+  } else {
+    const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+    wire::Reader r(bytes, data.size());
+    uint64_t magic = 0;
+    uint32_t version = 0, header_crc = 0;
+    r.GetU64(&magic);
+    r.GetU32(&version);
+    r.GetU64(&start_lsn);
+    r.GetU32(&header_crc);
+    if (magic != durable::kWalMagic) {
+      return Status::InvalidArgument("not a write-ahead log (bad magic): " +
+                                     path);
+    }
+    if (version != durable::kWalVersion) {
+      return Status::InvalidArgument(
+          "unsupported wal version " + std::to_string(version) +
+          " (supported: " + std::to_string(durable::kWalVersion) + ")");
+    }
+    if (Crc32c(bytes, durable::kWalHeaderBytes - 4) != header_crc) {
+      return Status::InvalidArgument("wal header checksum mismatch: " + path);
+    }
+    rec.start_lsn = start_lsn;
+
+    // Scan records. Torn-vs-corrupt is decided by the header CRC: an
+    // append is one write() call, and a crash leaves a *prefix* of it, so
+    // any tail holding a full record header holds the authentic one. A
+    // header that fails its CRC, an authenticated length that is absurd,
+    // or a payload checksum failure over a complete extent is therefore
+    // corruption -- never truncatable; only an incomplete header or an
+    // authentic-length record cut short is a torn tail.
+    uint64_t prev_lsn = start_lsn;
+    while (r.remaining() > 0) {
+      if (r.remaining() < durable::kWalRecordHeaderBytes) break;  // torn
+      const size_t rec_off = r.pos();
+      uint32_t len = 0, payload_crc = 0, header_crc = 0;
+      uint64_t lsn = 0;
+      r.GetU32(&len);
+      r.GetU32(&payload_crc);
+      r.GetU64(&lsn);
+      r.GetU32(&header_crc);
+      if (Crc32c(bytes + rec_off, durable::kWalRecordHeaderBytes - 4) !=
+          header_crc) {
+        return Status::InvalidArgument(
+            "wal record header at offset " + std::to_string(rec_off) +
+            " corrupted (header checksum mismatch): " + path);
+      }
+      if (len > durable::kWalMaxPayload) {
+        return Status::InvalidArgument(
+            "wal record at offset " + std::to_string(rec_off) +
+            " claims a " + std::to_string(len) +
+            "-byte payload (limit " + std::to_string(durable::kWalMaxPayload) +
+            "): " + path);
+      }
+      if (len > r.remaining()) break;  // authentic header, torn payload
+      const uint8_t* payload = r.cur();
+      r.Skip(len);
+      if (RecordCrc(lsn, payload, len) != payload_crc) {
+        return Status::InvalidArgument(
+            "wal record at offset " + std::to_string(rec_off) + " (lsn " +
+            std::to_string(lsn) + ") checksum mismatch: " + path);
+      }
+      if (lsn != prev_lsn + 1) {
+        return Status::InvalidArgument(
+            "wal lsn discontinuity: expected " + std::to_string(prev_lsn + 1) +
+            ", found " + std::to_string(lsn) + ": " + path);
+      }
+      prev_lsn = lsn;
+      valid_end = r.pos();
+      Record record;
+      record.lsn = lsn;
+      record.payload.assign(payload, payload + len);
+      rec.records.push_back(std::move(record));
+    }
+    rec.torn_bytes = data.size() - valid_end;
+  }
+
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  if (rec.torn_bytes > 0) {
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      ::close(fd);
+      return Status::Internal("ftruncate " + path + ": " +
+                              std::strerror(errno));
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::Internal("fsync " + path + ": " + std::strerror(errno));
+    }
+    NNCELL_METRIC_COUNT(Metrics().tail_truncations, 1);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Status::Internal("lseek " + path + ": " + std::strerror(errno));
+  }
+
+  uint64_t last =
+      rec.records.empty() ? rec.start_lsn : rec.records.back().lsn;
+  if (rec.created) last = start_lsn;
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, last + 1, group_sync));
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  if (!healthy_) {
+    return Status::FailedPrecondition(
+        "wal disabled by an earlier write failure; reopen to recover");
+  }
+  if (payload.size() > durable::kWalMaxPayload) {
+    return Status::InvalidArgument("wal payload too large");
+  }
+  const uint64_t lsn = next_lsn_;
+  std::string record;
+  wire::PutU32(&record, static_cast<uint32_t>(payload.size()));
+  wire::PutU32(&record,
+               RecordCrc(lsn, reinterpret_cast<const uint8_t*>(payload.data()),
+                         payload.size()));
+  wire::PutU64(&record, lsn);
+  wire::PutU32(&record, Crc32c(record.data(), record.size()));
+  record.append(payload);
+
+  Status st = fs::WriteAllFd(fd_, record, "wal.append.write");
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  ++next_lsn_;
+  ++unsynced_;
+  NNCELL_METRIC_COUNT(Metrics().appends, 1);
+  NNCELL_METRIC_COUNT(Metrics().append_bytes, record.size());
+  if (unsynced_ >= group_sync_) return Sync();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (!healthy_) {
+    return Status::FailedPrecondition(
+        "wal disabled by an earlier write failure; reopen to recover");
+  }
+  if (unsynced_ == 0) return Status::OK();
+  Status st = fs::FsyncFd(fd_, "wal.append.fsync");
+  if (!st.ok()) {
+    healthy_ = false;
+    return st;
+  }
+  unsynced_ = 0;
+  NNCELL_METRIC_COUNT(Metrics().fsyncs, 1);
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate(uint64_t new_start_lsn) {
+  if (failpoint::Check("wal.truncate") == failpoint::Action::kCrash) {
+    failpoint::Crash();
+  }
+  NNCELL_RETURN_IF_ERROR(fs::WriteFileAtomic(path_, HeaderBytes(new_start_lsn)));
+  // The old fd points at the replaced inode; switch to the new log.
+  int fd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    healthy_ = false;
+    return Status::Internal("open " + path_ + ": " + std::strerror(errno));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    healthy_ = false;
+    return Status::Internal("lseek " + path_ + ": " + std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = fd;
+  next_lsn_ = new_start_lsn + 1;
+  unsynced_ = 0;
+  healthy_ = true;
+  return Status::OK();
+}
+
+}  // namespace nncell

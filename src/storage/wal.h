@@ -1,0 +1,94 @@
+#ifndef NNCELL_STORAGE_WAL_H_
+#define NNCELL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nncell {
+
+// Append-only write-ahead log with checksummed, length-prefixed records
+// and monotonically increasing LSNs (docs/PERSISTENCE.md for the byte
+// layout). The payload is opaque here; NNCellIndex logs insert/delete
+// operations through nncell/wal_records.h.
+//
+// Durability contract: a record is durable once the Append that wrote it
+// (or a later Sync) returned OK under group_sync = 1; with group_sync = N
+// only every N-th append syncs, trading the tail of acknowledged records
+// against fsync cost. Open() scans an existing log, truncates a torn
+// final record (the expected artifact of a crash mid-append), and fails
+// with a precise Status on corruption. The two are separated soundly by
+// the per-record header CRC: a crash leaves a prefix of one append, so a
+// tail holding a full record header holds an authentic one -- anything
+// that fails a checksum is corruption and is never silently truncated.
+//
+// Any write or sync failure poisons the log: every later Append/Sync
+// fails immediately, because the file offset after a partial write is
+// unknown. The owner must recover by reopening (which re-scans and
+// truncates) -- matching how the durable index surfaces I/O faults.
+class WriteAheadLog {
+ public:
+  struct Record {
+    uint64_t lsn = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  struct RecoverResult {
+    std::vector<Record> records;  // valid records, in LSN order
+    uint64_t start_lsn = 0;       // header base: records begin at start+1
+    uint64_t torn_bytes = 0;      // torn tail truncated from the file
+    bool created = false;         // no (usable) log existed
+  };
+
+  // Opens `path`, scanning and repairing an existing log, or creates an
+  // empty one with base LSN `create_start_lsn`. With `strict_header`
+  // false, a log too short to hold a header is recreated empty (the crash
+  // window of the very first creation); with true it is an error (a log
+  // that once held acknowledged records must parse). `group_sync` >= 1 is
+  // the group-commit granularity.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, uint64_t create_start_lsn, size_t group_sync,
+      bool strict_header, RecoverResult* recovered);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Appends one record (assigning the next LSN) and syncs per the group
+  // policy. On OK with group_sync = 1 the record is durable.
+  Status Append(std::string_view payload);
+
+  // Forces any unsynced appends to disk.
+  Status Sync();
+
+  // Atomically replaces the log with an empty one whose base LSN is
+  // `new_start_lsn` (checkpoint fold: everything <= new_start_lsn is now
+  // covered by the snapshot). Uses the same temp+rename+dir-fsync protocol
+  // as snapshot writes.
+  Status Truncate(uint64_t new_start_lsn);
+
+  // LSN of the last appended (or recovered) record; records created by the
+  // next Append get last_lsn() + 1.
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  const std::string& path() const { return path_; }
+  bool healthy() const { return healthy_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, uint64_t next_lsn,
+                size_t group_sync);
+
+  std::string path_;
+  int fd_;
+  uint64_t next_lsn_;
+  size_t group_sync_;
+  size_t unsynced_ = 0;
+  bool healthy_ = true;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_STORAGE_WAL_H_

@@ -1,0 +1,89 @@
+#ifndef NNCELL_STORAGE_WIRE_H_
+#define NNCELL_STORAGE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace nncell {
+namespace wire {
+
+// Little-endian append helpers and a bounds-checked reader for the on-disk
+// formats (snapshot, page image, WAL; docs/PERSISTENCE.md). Unlike
+// storage/byte_io.h -- whose cursors CHECK-abort, correct for trusted
+// in-memory pages -- the Reader here reports overruns as a sticky failure
+// bit, because its input is an untrusted file.
+//
+// All integers are stored little-endian; the memcpy encoding below is
+// byte-order-correct only on little-endian hosts, which is the only
+// platform the repo targets (static_assert in wire.h's single user would
+// be overkill; every format test round-trips through these helpers).
+
+template <typename T>
+inline void PutRaw(std::string* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+inline void PutU8(std::string* out, uint8_t v) { PutRaw(out, v); }
+inline void PutU32(std::string* out, uint32_t v) { PutRaw(out, v); }
+inline void PutU64(std::string* out, uint64_t v) { PutRaw(out, v); }
+inline void PutF64(std::string* out, double v) { PutRaw(out, v); }
+inline void PutBytes(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetBytes(void* out, size_t n) {
+    if (failed_ || n > size_ - pos_) {
+      failed_ = true;
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool Get(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return GetBytes(out, sizeof(T));
+  }
+
+  bool GetU8(uint8_t* v) { return Get(v); }
+  bool GetU32(uint32_t* v) { return Get(v); }
+  bool GetU64(uint64_t* v) { return Get(v); }
+  bool GetF64(double* v) { return Get(v); }
+
+  bool Skip(size_t n) {
+    if (failed_ || n > size_ - pos_) {
+      failed_ = true;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  // Current read position / window (for spans checksummed as a unit).
+  const uint8_t* cur() const { return data_ + pos_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool failed() const { return failed_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace wire
+}  // namespace nncell
+
+#endif  // NNCELL_STORAGE_WIRE_H_

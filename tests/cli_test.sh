@@ -47,6 +47,29 @@ PY
 "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --trace > "$DIR/trace.out"
 grep -c '^trace [0-9]*: {' "$DIR/trace.out" | grep -qx 5
 grep -q '"name":"index_probe"' "$DIR/trace.out"
+# durable mode: build a snapshot+WAL directory, answers must match the
+# single-file index exactly; checkpoint and recover report cleanly
+"$CLI" build "$DIR/pts.csv" "$DIR/dur" --algorithm=sphere --durable | grep -q "built durable"
+test -f "$DIR/dur/snapshot.nncell"
+test -f "$DIR/dur/wal.log"
+"$CLI" query "$DIR/dur" "$DIR/q.csv" > "$DIR/durable.out"
+cmp "$DIR/serial.out" "$DIR/durable.out"
+"$CLI" stats "$DIR/dur" | grep -q "validation:         OK"
+"$CLI" checkpoint "$DIR/dur" | grep -q "checkpointed"
+"$CLI" recover "$DIR/dur" > "$DIR/recover.out"
+grep -q "snapshot:        loaded" "$DIR/recover.out"
+grep -q "tree validation: OK" "$DIR/recover.out"
+# corruption is loud: one flipped bit in the snapshot fails recovery
+python3 - "$DIR/dur/snapshot.nncell" <<'PY'
+import sys
+p = sys.argv[1]
+data = bytearray(open(p, "rb").read())
+data[len(data) // 2] ^= 0x10
+open(p, "wb").write(bytes(data))
+PY
+! "$CLI" recover "$DIR/dur" 2>"$DIR/recover_err.out"
+grep -q "recovery failed" "$DIR/recover_err.out"
+! "$CLI" query "$DIR/dur" "$DIR/q.csv" 2>/dev/null
 # error paths
 ! "$CLI" stats /nonexistent.idx 2>/dev/null
 ! "$CLI" frobnicate 2>/dev/null

@@ -1,9 +1,12 @@
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32c.h"
 #include "common/distance.h"
+#include "common/failpoint.h"
 #include "common/hyper_rect.h"
 #include "common/point_set.h"
 #include "common/rng.h"
@@ -240,6 +243,69 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
+
+TEST(Crc32cTest, KnownAnswer) {
+  // The canonical CRC32C check value (RFC 3720 appendix B.4).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const std::string a = "hello, ";
+  const std::string b = "durable world";
+  const std::string ab = a + b;
+  EXPECT_EQ(Crc32cExtend(Crc32c(a.data(), a.size()), b.data(), b.size()),
+            Crc32c(ab.data(), ab.size()));
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesValue) {
+  std::string data(257, '\x5a');
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 13) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(data.data(), data.size()), base)
+          << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+#if NNCELL_FAILPOINTS
+TEST(FailpointTest, DisarmedIsOff) {
+  failpoint::DisarmAll();
+  EXPECT_EQ(failpoint::Check("test.site"), failpoint::Action::kOff);
+}
+
+TEST(FailpointTest, FiresOnceThenDisarms) {
+  failpoint::DisarmAll();
+  failpoint::Arm("test.site", failpoint::Action::kError);
+  EXPECT_EQ(failpoint::Check("test.site"), failpoint::Action::kError);
+  EXPECT_EQ(failpoint::Check("test.site"), failpoint::Action::kOff);
+  failpoint::DisarmAll();
+}
+
+TEST(FailpointTest, SkipDelaysFiring) {
+  failpoint::DisarmAll();
+  failpoint::Arm("test.site", failpoint::Action::kShortWrite, /*skip=*/2);
+  EXPECT_EQ(failpoint::Check("test.site"), failpoint::Action::kOff);
+  EXPECT_EQ(failpoint::Check("test.site"), failpoint::Action::kOff);
+  EXPECT_EQ(failpoint::Check("test.site"), failpoint::Action::kShortWrite);
+  // After firing, the site disarmed itself; with nothing armed the fast
+  // path answers (and records nothing).
+  EXPECT_EQ(failpoint::Check("test.site"), failpoint::Action::kOff);
+  EXPECT_EQ(failpoint::Evaluations("test.site"), 3u);
+  failpoint::DisarmAll();
+}
+
+TEST(FailpointTest, SitesAreIndependent) {
+  failpoint::DisarmAll();
+  failpoint::Arm("test.a", failpoint::Action::kError);
+  EXPECT_EQ(failpoint::Check("test.b"), failpoint::Action::kOff);
+  EXPECT_EQ(failpoint::Check("test.a"), failpoint::Action::kError);
+  failpoint::DisarmAll();
+}
+#endif  // NNCELL_FAILPOINTS
 
 }  // namespace
 }  // namespace nncell

@@ -192,5 +192,123 @@ TEST(IndexPersistenceTest, MismatchedPoolRejected) {
   EXPECT_FALSE(loaded.ok());
 }
 
+std::string SerializeToString(const NNCellIndex& index) {
+  std::stringstream stream;
+  EXPECT_TRUE(index.Save(stream).ok());
+  return stream.str();
+}
+
+StatusOr<std::unique_ptr<NNCellIndex>> LoadString(const std::string& image,
+                                                  PageFile* file,
+                                                  BufferPool* pool) {
+  std::stringstream stream(image);
+  return NNCellIndex::Load(stream, file, pool);
+}
+
+// Each rejection names its cause precisely (the exact phrases are part of
+// the documented format contract, docs/PERSISTENCE.md).
+TEST(IndexPersistenceTest, FailureModesHavePreciseErrors) {
+  NNCellOptions opts;
+  SavedIndex original = BuildSample(2, 30, opts, 9);
+  const std::string image = SerializeToString(*original.index);
+
+  struct Case {
+    const char* name;
+    size_t offset;
+    const char* expect;
+  };
+  // Offsets per the header layout: magic at 0, version at 8.
+  const Case cases[] = {
+      {"magic", 0, "bad magic"},
+      {"version", 8, "unsupported snapshot version"},
+      {"header body", 20, "header checksum mismatch"},
+  };
+  for (const Case& c : cases) {
+    std::string damaged = image;
+    damaged[c.offset] ^= 0x04;
+    PageFile file(2048);
+    BufferPool pool(&file, 64);
+    auto loaded = LoadString(damaged, &file, &pool);
+    ASSERT_FALSE(loaded.ok()) << c.name;
+    EXPECT_NE(loaded.status().message().find(c.expect), std::string::npos)
+        << c.name << ": " << loaded.status().ToString();
+  }
+
+  // Truncation is named as such (the footer magic check catches it first).
+  {
+    PageFile file(2048);
+    BufferPool pool(&file, 64);
+    auto loaded = LoadString(image.substr(0, image.size() / 2), &file, &pool);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("footer"), std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  // Body damage behind a valid header is caught by the whole-file CRC.
+  {
+    std::string damaged = image;
+    damaged[image.size() / 2] ^= 0x01;
+    PageFile file(2048);
+    BufferPool pool(&file, 64);
+    auto loaded = LoadString(damaged, &file, &pool);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  // Page-size mismatch between snapshot and target file.
+  {
+    PageFile file(1024);
+    BufferPool pool(&file, 64);
+    auto loaded = LoadString(image, &file, &pool);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("page size"), std::string::npos)
+        << loaded.status().ToString();
+  }
+}
+
+// A failed load must leave a previously loaded index -- and the PageFile /
+// BufferPool it lives in -- completely untouched (the all-or-nothing
+// contract: validate everything, then commit).
+TEST(IndexPersistenceTest, FailedLoadLeavesExistingStateUntouched) {
+  NNCellOptions opts;
+  SavedIndex original = BuildSample(3, 80, opts, 14);
+  const std::string image = SerializeToString(*original.index);
+
+  PointSet queries = GenerateQueries(60, 3, 15);
+  std::vector<uint64_t> before_ids;
+  for (size_t t = 0; t < queries.size(); ++t) {
+    auto r = original.index->Query(queries[t]);
+    ASSERT_TRUE(r.ok());
+    before_ids.push_back(r->id);
+  }
+  const size_t before_pages = original.file->num_pages();
+
+  // Try to load progressively damaged images into the live index's own
+  // file and pool; every attempt must fail and change nothing.
+  for (size_t tweak = 0; tweak < 6; ++tweak) {
+    std::string damaged = image;
+    damaged[(tweak * 131) % image.size()] ^= static_cast<char>(1u << tweak);
+    auto loaded = LoadString(damaged, original.file.get(),
+                             original.pool.get());
+    ASSERT_FALSE(loaded.ok()) << "tweak " << tweak;
+  }
+  {
+    auto loaded = LoadString(image.substr(0, image.size() - 7),
+                             original.file.get(), original.pool.get());
+    ASSERT_FALSE(loaded.ok());
+  }
+
+  EXPECT_EQ(original.file->num_pages(), before_pages);
+  EXPECT_EQ(original.index->ValidateTree(), "");
+  for (size_t t = 0; t < queries.size(); ++t) {
+    auto r = original.index->Query(queries[t]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->id, before_ids[t]) << "query " << t;
+  }
+  ASSERT_TRUE(original.index->CheckInvariants(40).ok());
+}
+
 }  // namespace
 }  // namespace nncell

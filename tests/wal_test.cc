@@ -1,0 +1,314 @@
+// Unit tests of the write-ahead log: append/recover round trips, torn-tail
+// truncation, mid-log corruption rejection, group commit, and the
+// checkpoint truncation protocol (docs/PERSISTENCE.md).
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "storage/durable_format.h"
+#include "storage/fs_util.h"
+#include "storage/wal.h"
+
+namespace nncell {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "wal_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::remove(path_.c_str());
+    failpoint::DisarmAll();
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    std::remove(path_.c_str());
+  }
+
+  StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      uint64_t start_lsn = 0, size_t group_sync = 1,
+      bool strict_header = false,
+      WriteAheadLog::RecoverResult* rec = nullptr) {
+    return WriteAheadLog::Open(path_, start_lsn, group_sync, strict_header,
+                               rec);
+  }
+
+  std::string ReadAll() {
+    auto data = fs::ReadFileToString(path_);
+    EXPECT_TRUE(data.ok());
+    return data.ok() ? *data : std::string();
+  }
+
+  void WriteAll(const std::string& data) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, CreatesEmptyLog) {
+  WriteAheadLog::RecoverResult rec;
+  auto wal = Open(7, 1, false, &rec);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(rec.created);
+  EXPECT_EQ(rec.start_lsn, 7u);
+  EXPECT_TRUE(rec.records.empty());
+  EXPECT_EQ((*wal)->last_lsn(), 7u);
+  EXPECT_EQ(ReadAll().size(), durable::kWalHeaderBytes);
+}
+
+TEST_F(WalTest, AppendRecoverRoundTrip) {
+  {
+    auto wal = Open();
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("alpha").ok());
+    ASSERT_TRUE((*wal)->Append("").ok());  // empty payloads are legal
+    ASSERT_TRUE((*wal)->Append("gamma-gamma").ok());
+    EXPECT_EQ((*wal)->last_lsn(), 3u);
+  }
+  WriteAheadLog::RecoverResult rec;
+  auto wal = Open(0, 1, true, &rec);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_FALSE(rec.created);
+  EXPECT_EQ(rec.torn_bytes, 0u);
+  ASSERT_EQ(rec.records.size(), 3u);
+  EXPECT_EQ(rec.records[0].lsn, 1u);
+  EXPECT_EQ(std::string(rec.records[0].payload.begin(),
+                        rec.records[0].payload.end()),
+            "alpha");
+  EXPECT_TRUE(rec.records[1].payload.empty());
+  EXPECT_EQ(rec.records[2].lsn, 3u);
+  EXPECT_EQ((*wal)->last_lsn(), 3u);
+  // Appending after recovery continues the LSN sequence.
+  ASSERT_TRUE((*wal)->Append("delta").ok());
+  EXPECT_EQ((*wal)->last_lsn(), 4u);
+}
+
+TEST_F(WalTest, TornTailIsTruncated) {
+  {
+    auto wal = Open();
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first").ok());
+    ASSERT_TRUE((*wal)->Append("second").ok());
+  }
+  std::string data = ReadAll();
+  const size_t full = data.size();
+  // Chop the final record at every possible byte boundary: all of them
+  // must recover exactly one record and truncate the rest.
+  const size_t second_start =
+      durable::kWalHeaderBytes + durable::kWalRecordHeaderBytes + 5;
+  for (size_t cut = second_start + 1; cut < full; ++cut) {
+    WriteAll(data.substr(0, cut));
+    WriteAheadLog::RecoverResult rec;
+    auto wal = Open(0, 1, true, &rec);
+    ASSERT_TRUE(wal.ok()) << "cut=" << cut << ": " << wal.status().ToString();
+    EXPECT_EQ(rec.records.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(rec.torn_bytes, cut - second_start) << "cut=" << cut;
+    EXPECT_EQ((*wal)->last_lsn(), 1u);
+    // The torn bytes are gone from disk after recovery.
+    wal->reset();
+    EXPECT_EQ(ReadAll().size(), second_start) << "cut=" << cut;
+  }
+}
+
+TEST_F(WalTest, MidLogCorruptionIsAnError) {
+  {
+    auto wal = Open();
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first-record").ok());
+    ASSERT_TRUE((*wal)->Append("second-record").ok());
+  }
+  std::string data = ReadAll();
+  // Flip one payload byte of the FIRST record: a checksum failure with an
+  // intact record after it is corruption, not a torn tail.
+  data[durable::kWalHeaderBytes + durable::kWalRecordHeaderBytes + 2] ^= 0x01;
+  WriteAll(data);
+  auto wal = Open(0, 1, true, nullptr);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_NE(wal.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << wal.status().ToString();
+}
+
+TEST_F(WalTest, FinalRecordBitFlipIsCorruptionNotTorn) {
+  // A fully present final record with a flipped payload byte is NOT a torn
+  // tail (a crash leaves a prefix, and this record is complete): it must be
+  // rejected, never truncated away or replayed as-is.
+  {
+    auto wal = Open();
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first-record").ok());
+    ASSERT_TRUE((*wal)->Append("second-record").ok());
+  }
+  std::string data = ReadAll();
+  data[data.size() - 3] ^= 0x40;  // inside the final record's payload
+  WriteAll(data);
+  auto wal = Open(0, 1, true, nullptr);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_NE(wal.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << wal.status().ToString();
+}
+
+TEST_F(WalTest, LengthFieldBitFlipIsCorruptionNotTorn) {
+  // The classic silent-truncation hole: flip a bit in a mid-log record's
+  // length field. Without a header CRC the scanner would trust the bogus
+  // length, fail to fit the "record", and truncate every acked record
+  // behind it as a "torn tail". The header CRC makes it a hard error.
+  {
+    auto wal = Open();
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first-record").ok());
+    ASSERT_TRUE((*wal)->Append("second-record").ok());
+    ASSERT_TRUE((*wal)->Append("third-record").ok());
+  }
+  const std::string pristine = ReadAll();
+  for (int bit = 0; bit < 32; ++bit) {
+    std::string data = pristine;
+    data[durable::kWalHeaderBytes + bit / 8] ^= static_cast<char>(1 << (bit % 8));
+    WriteAll(data);
+    auto wal = Open(0, 1, true, nullptr);
+    ASSERT_FALSE(wal.ok()) << "length-field bit " << bit
+                           << " flip went undetected";
+    EXPECT_NE(wal.status().message().find("header"), std::string::npos)
+        << wal.status().ToString();
+  }
+}
+
+TEST_F(WalTest, HeaderCorruptionRejected) {
+  {
+    auto wal = Open();
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("payload").ok());
+  }
+  std::string data = ReadAll();
+  data[9] ^= 0x10;  // version field
+  WriteAll(data);
+  EXPECT_FALSE(Open(0, 1, true, nullptr).ok());
+  EXPECT_FALSE(Open(0, 1, false, nullptr).ok());  // lenience is header-size only
+}
+
+TEST_F(WalTest, ShortHeaderStrictnessDependsOnSnapshot) {
+  WriteAll("short");
+  // Without a snapshot the stub can only be the torn first creation.
+  WriteAheadLog::RecoverResult rec;
+  auto wal = Open(0, 1, /*strict_header=*/false, &rec);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(rec.created);
+  wal->reset();
+  // With a snapshot, an unreadable log that may have held acked records
+  // is a hard error.
+  WriteAll("short");
+  auto strict = Open(5, 1, /*strict_header=*/true, nullptr);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("header truncated"),
+            std::string::npos);
+}
+
+TEST_F(WalTest, GroupSyncBatchesFsyncs) {
+  auto wal = Open(0, /*group_sync=*/4, false, nullptr);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*wal)->Append("record-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+  // All ten records are durable and recoverable.
+  wal->reset();
+  WriteAheadLog::RecoverResult rec;
+  ASSERT_TRUE(Open(0, 1, true, &rec).ok());
+  EXPECT_EQ(rec.records.size(), 10u);
+}
+
+TEST_F(WalTest, TruncateResetsToNewBase) {
+  auto wal = Open();
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*wal)->Append("r" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*wal)->Truncate(5).ok());
+  EXPECT_EQ((*wal)->last_lsn(), 5u);
+  EXPECT_EQ(ReadAll().size(), durable::kWalHeaderBytes);
+  // Post-truncation appends continue from the new base.
+  ASSERT_TRUE((*wal)->Append("after").ok());
+  wal->reset();
+  WriteAheadLog::RecoverResult rec;
+  ASSERT_TRUE(Open(0, 1, true, &rec).ok());
+  EXPECT_EQ(rec.start_lsn, 5u);
+  ASSERT_EQ(rec.records.size(), 1u);
+  EXPECT_EQ(rec.records[0].lsn, 6u);
+}
+
+TEST_F(WalTest, LsnGapIsAnError) {
+  {
+    auto wal = Open();
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("one").ok());
+    ASSERT_TRUE((*wal)->Append("two").ok());
+    ASSERT_TRUE((*wal)->Append("three").ok());
+  }
+  std::string data = ReadAll();
+  // Excise the middle record (header + "two") and stitch the file back
+  // together: record three's LSN no longer follows record one's.
+  const size_t r1_end =
+      durable::kWalHeaderBytes + durable::kWalRecordHeaderBytes + 3;
+  const size_t r2_end = r1_end + durable::kWalRecordHeaderBytes + 3;
+  WriteAll(data.substr(0, r1_end) + data.substr(r2_end));
+  auto wal = Open(0, 1, true, nullptr);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_NE(wal.status().message().find("discontinuity"), std::string::npos)
+      << wal.status().ToString();
+}
+
+#if NNCELL_FAILPOINTS
+TEST_F(WalTest, AppendWriteFailurePoisonsTheLog) {
+  auto wal = Open();
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("good").ok());
+  failpoint::Arm("wal.append.write", failpoint::Action::kError);
+  EXPECT_FALSE((*wal)->Append("boom").ok());
+  EXPECT_FALSE((*wal)->healthy());
+  // Every later operation fails fast until reopen.
+  EXPECT_FALSE((*wal)->Append("after").ok());
+  EXPECT_FALSE((*wal)->Sync().ok());
+  // Reopen recovers the good prefix.
+  wal->reset();
+  WriteAheadLog::RecoverResult rec;
+  auto reopened = Open(0, 1, true, &rec);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(rec.records.size(), 1u);
+}
+
+TEST_F(WalTest, ShortWriteLeavesRecoverableTornTail) {
+  auto wal = Open();
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("first-good-record").ok());
+  failpoint::Arm("wal.append.write", failpoint::Action::kShortWrite);
+  EXPECT_FALSE((*wal)->Append("half-written-record").ok());
+  wal->reset();
+  WriteAheadLog::RecoverResult rec;
+  auto reopened = Open(0, 1, true, &rec);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(rec.records.size(), 1u);
+  EXPECT_GT(rec.torn_bytes, 0u);
+}
+
+TEST_F(WalTest, FsyncFailurePoisonsTheLog) {
+  auto wal = Open();
+  ASSERT_TRUE(wal.ok());
+  failpoint::Arm("wal.append.fsync", failpoint::Action::kError);
+  EXPECT_FALSE((*wal)->Append("record").ok());
+  EXPECT_FALSE((*wal)->healthy());
+}
+#endif  // NNCELL_FAILPOINTS
+
+}  // namespace
+}  // namespace nncell

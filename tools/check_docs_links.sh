@@ -7,6 +7,10 @@
 #  2. docs/METRICS.md and src/common/metrics_names.h must agree exactly:
 #     every registered metric name is documented, and every documented
 #     metric name exists in the header (the single source of truth).
+#  3. docs/PERSISTENCE.md and src/storage/durable_format.h must agree:
+#     every on-disk format constant (magic, version, size, op code, file
+#     name) is documented with its exact value, and every constant the
+#     document names still exists in the persistence-layer headers.
 #
 # Usage: check_docs_links.sh [repo-root]
 
@@ -83,9 +87,66 @@ if [ -n "$stale" ]; then
   fail=1
 fi
 
+# --- 3. PERSISTENCE.md <-> durable_format.h --------------------------------
+
+fmt_header="src/storage/durable_format.h"
+fmt_doc="docs/PERSISTENCE.md"
+fp_header="src/common/failpoint.h"
+
+for required in "$fmt_header" "$fmt_doc" "$fp_header"; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING FILE: $required"
+    exit 1
+  fi
+done
+
+# Forward: every `kName = value` constant in the format header must appear
+# in the document with its exact value (integer suffixes and quotes are
+# normalized away; the doc's backticks are stripped before matching).
+doc_flat=$(tr -d '`' < "$fmt_doc")
+n_consts=0
+while read -r name value; do
+  [ -z "$name" ] && continue
+  n_consts=$((n_consts + 1))
+  case "$value" in
+    \"*\")
+      value="${value%\"}"
+      value="${value#\"}"
+      if ! printf '%s' "$doc_flat" | grep -qF "$name" ||
+         ! printf '%s' "$doc_flat" | grep -qF "$value"; then
+        echo "UNDOCUMENTED FORMAT CONSTANT: $name = \"$value\"" \
+             "(missing from $fmt_doc)"
+        fail=1
+      fi
+      ;;
+    *)
+      value=$(printf '%s' "$value" | sed -E 's/U?L?L?$//')
+      if ! printf '%s' "$doc_flat" | grep -qF "$name = $value"; then
+        echo "FORMAT CONSTANT DRIFT: $fmt_doc must state \"$name = $value\"" \
+             "(from $fmt_header)"
+        fail=1
+      fi
+      ;;
+  esac
+done <<EOF
+$(sed -nE 's/^inline constexpr [A-Za-z0-9_]+ (k[A-Za-z0-9]+)(\[\])? = ([^;]+);.*/\1 \3/p' "$fmt_header")
+EOF
+
+# Reverse: every backticked kConstant the document names must still be
+# defined in the persistence-layer headers.
+doc_consts=$(grep -oE '`k[A-Z][A-Za-z0-9]*`' "$fmt_doc" | tr -d '`' | sort -u)
+for c in $doc_consts; do
+  if ! grep -qE "\b$c\b" "$fmt_header" "$fp_header"; then
+    echo "STALE DOC CONSTANT: $c (in $fmt_doc, not defined in" \
+         "$fmt_header or $fp_header)"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   n_links=$(printf '%s\n' "$md_files" | wc -l | tr -d ' ')
   n_names=$(printf '%s\n' "$src_names" | wc -l | tr -d ' ')
-  echo "docs check OK: $n_links markdown files, $n_names metrics in sync"
+  echo "docs check OK: $n_links markdown files, $n_names metrics," \
+       "$n_consts format constants in sync"
 fi
 exit "$fail"

@@ -1,11 +1,20 @@
 // nncell_cli -- command-line front end for the NN-cell index.
 //
-//   nncell_cli build  <points.csv> <index.nncell> [--algorithm=sphere]
-//                     [--decompose=K] [--xtree=0|1] [--threads=N]
-//   nncell_cli query  <index.nncell> <queries.csv> [--k=1] [--threads=N]
+//   nncell_cli build  <points.csv> <index.nncell|dir> [--algorithm=sphere]
+//                     [--decompose=K] [--xtree=0|1] [--threads=N] [--durable]
+//   nncell_cli query  <index.nncell|dir> <queries.csv> [--k=1] [--threads=N]
 //                     [--trace]
-//   nncell_cli stats  <index.nncell> [--json] [--probe-queries=N]
+//   nncell_cli stats  <index.nncell|dir> [--json] [--probe-queries=N]
 //                     [--lp-sample=N] [--seed=S]
+//   nncell_cli checkpoint <dir>
+//   nncell_cli recover    <dir> [--dim=N]
+//
+// An index argument that names a directory is opened as a durable index
+// (snapshot + write-ahead log, docs/PERSISTENCE.md); `build --durable`
+// creates one. `checkpoint` folds the WAL into a fresh snapshot;
+// `recover` opens the directory, replays the log, reports what recovery
+// did, and exits nonzero on any corruption -- the operator entry points of
+// the runbook in docs/OPERATIONS.md.
 //
 // --threads=N runs the build's LP solves / the query batch on N worker
 // threads (0 = one per hardware core). The built index is byte-identical
@@ -40,11 +49,37 @@
 #include "nncell/nncell_index.h"
 #include "nncell/query_trace.h"
 #include "storage/buffer_pool.h"
+#include "storage/fs_util.h"
 #include "storage/page_file.h"
 
 namespace {
 
 using namespace nncell;
+
+// An opened index plus whatever storage keeps it alive: durable indexes
+// own their storage; file-image indexes borrow `file`/`pool` below.
+struct OpenedIndex {
+  std::unique_ptr<PageFile> file;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<NNCellIndex> index;
+};
+
+// Opens `path` as a durable directory or a single-file snapshot image.
+StatusOr<OpenedIndex> OpenAnyIndex(const std::string& path) {
+  OpenedIndex o;
+  if (fs::IsDirectory(path)) {
+    auto idx = NNCellIndex::Open(path, 0, NNCellOptions());
+    if (!idx.ok()) return idx.status();
+    o.index = std::move(*idx);
+    return o;
+  }
+  o.file = std::make_unique<PageFile>(4096);
+  o.pool = std::make_unique<BufferPool>(o.file.get(), 4096);
+  auto idx = NNCellIndex::Load(path, o.file.get(), o.pool.get());
+  if (!idx.ok()) return idx.status();
+  o.index = std::move(*idx);
+  return o;
+}
 
 StatusOr<PointSet> ReadCsv(const std::string& path) {
   std::ifstream in(path);
@@ -134,6 +169,32 @@ int Build(int argc, char** argv) {
     options.parallel.num_threads = std::strtoul(t, nullptr, 10);
   }
 
+  if (HasFlag(argc, argv, "--durable")) {
+    // Durable build: the output is a directory with a checksummed snapshot
+    // and a write-ahead log; BulkBuild checkpoints on completion, and later
+    // Insert/Delete through Open() are logged before they apply.
+    auto idx = NNCellIndex::Open(std::string(argv[3]), pts->dim(), options);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch timer;
+    Status st = (*idx)->BulkBuild(*pts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "built durable index %s: %zu points, dim=%zu, algorithm=%s, %.2fs,\n"
+        "  %zu LP runs, expected candidates per query %.2f\n",
+        argv[3], (*idx)->size(), (*idx)->dim(),
+        ApproxAlgorithmName((*idx)->options().algorithm),
+        timer.ElapsedSeconds(), (*idx)->build_stats().approx.lp_runs,
+        (*idx)->ExpectedCandidates());
+    return 0;
+  }
+
   PageFile file(4096);
   BufferPool pool(&file, 4096);
   NNCellIndex index(&pool, pts->dim(), options);
@@ -163,21 +224,20 @@ int Query(int argc, char** argv) {
     std::fprintf(stderr, "usage: nncell_cli query <index> <queries.csv>\n");
     return 2;
   }
-  PageFile file(4096);
-  BufferPool pool(&file, 4096);
-  auto index = NNCellIndex::Load(std::string(argv[2]), &file, &pool);
-  if (!index.ok()) {
-    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+  auto opened = OpenAnyIndex(argv[2]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
     return 1;
   }
+  auto& index = opened->index;
   auto queries = ReadCsv(argv[3]);
   if (!queries.ok()) {
     std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
     return 1;
   }
-  if (queries->dim() != (*index)->dim()) {
+  if (queries->dim() != index->dim()) {
     std::fprintf(stderr, "query dim %zu != index dim %zu\n", queries->dim(),
-                 (*index)->dim());
+                 index->dim());
     return 1;
   }
   size_t k = 1;
@@ -187,7 +247,7 @@ int Query(int argc, char** argv) {
   size_t threads = 1;
   if (const char* t = FlagValue(argc, argv, "--threads")) {
     threads = std::strtoul(t, nullptr, 10);
-    (*index)->SetNumThreads(threads);
+    index->SetNumThreads(threads);
   }
   const bool trace_mode = HasFlag(argc, argv, "--trace");
   if (trace_mode && k == 1) {
@@ -196,7 +256,7 @@ int Query(int argc, char** argv) {
     metrics::Registry::SetEnabled(true);
     for (size_t i = 0; i < queries->size(); ++i) {
       QueryTrace trace;
-      auto r = (*index)->Query((*queries)[i], &trace);
+      auto r = index->Query((*queries)[i], &trace);
       if (!r.ok()) {
         std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
         continue;
@@ -211,7 +271,7 @@ int Query(int argc, char** argv) {
   if (k == 1 && (threads == 0 || threads > 1)) {
     // Batched answer path: results are identical to the serial loop below,
     // computed by concurrent readers.
-    auto results = (*index)->QueryBatch(*queries);
+    auto results = index->QueryBatch(*queries);
     if (!results.ok()) {
       std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
       return 1;
@@ -225,7 +285,7 @@ int Query(int argc, char** argv) {
   }
   for (size_t i = 0; i < queries->size(); ++i) {
     if (k == 1) {
-      auto r = (*index)->Query((*queries)[i]);
+      auto r = index->Query((*queries)[i]);
       if (!r.ok()) {
         std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
         continue;
@@ -234,7 +294,7 @@ int Query(int argc, char** argv) {
                   static_cast<unsigned long long>(r->id), r->dist,
                   r->candidates);
     } else {
-      auto r = (*index)->KnnQuery((*queries)[i], k);
+      auto r = index->KnnQuery((*queries)[i], k);
       if (!r.ok()) {
         std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
         continue;
@@ -257,29 +317,28 @@ int Stats(int argc, char** argv) {
                  " [--probe-queries=N] [--lp-sample=N] [--seed=S]\n");
     return 2;
   }
-  PageFile file(4096);
-  BufferPool pool(&file, 4096);
-  auto index = NNCellIndex::Load(std::string(argv[2]), &file, &pool);
-  if (!index.ok()) {
-    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+  auto opened = OpenAnyIndex(argv[2]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
     return 1;
   }
-  auto info = (*index)->TreeInfo();
+  auto& index = opened->index;
+  auto info = index->TreeInfo();
   if (!HasFlag(argc, argv, "--json")) {
-    std::printf("points:             %zu (dim %zu)\n", (*index)->size(),
-                (*index)->dim());
+    std::printf("points:             %zu (dim %zu)\n", index->size(),
+                index->dim());
     std::printf("algorithm:          %s\n",
-                ApproxAlgorithmName((*index)->options().algorithm));
-    std::printf("expected candidates:%.2f\n", (*index)->ExpectedCandidates());
+                ApproxAlgorithmName(index->options().algorithm));
+    std::printf("expected candidates:%.2f\n", index->ExpectedCandidates());
     std::printf("tree height:        %zu\n", info.height);
     std::printf("tree nodes:         %zu (%zu leaves, %zu supernodes)\n",
                 info.num_nodes, info.num_leaves, info.num_supernodes);
     std::printf("tree pages:         %zu (%zu bytes)\n", info.total_pages,
                 info.total_pages * 4096);
     std::printf("validation:         %s\n",
-                (*index)->ValidateTree().empty()
+                index->ValidateTree().empty()
                     ? "OK"
-                    : (*index)->ValidateTree().c_str());
+                    : index->ValidateTree().c_str());
     std::printf("(run with --json for the full metrics snapshot)\n");
     return 0;
   }
@@ -303,10 +362,10 @@ int Stats(int argc, char** argv) {
   registry.ResetAll();
   metrics::Registry::SetEnabled(true);
   Rng rng(seed);
-  std::vector<double> q((*index)->dim());
+  std::vector<double> q(index->dim());
   for (size_t t = 0; t < probe_queries; ++t) {
     for (auto& v : q) v = rng.NextDouble();
-    auto r = (*index)->Query(q);
+    auto r = index->Query(q);
     if (!r.ok()) {
       std::fprintf(stderr, "probe query failed: %s\n",
                    r.status().ToString().c_str());
@@ -315,7 +374,7 @@ int Stats(int argc, char** argv) {
   }
   // Recompute (and discard) a few cell approximations so the LP pipeline
   // counters reflect this index, not just zeros.
-  (void)(*index)->MeasureApproxEffort(lp_sample, seed);
+  (void)index->MeasureApproxEffort(lp_sample, seed);
   metrics::Registry::SetEnabled(false);
 
   char buf[512];
@@ -326,11 +385,11 @@ int Stats(int argc, char** argv) {
       "\"lp_sample\":%zu,\"points\":%zu,\"probe_queries\":%zu,"
       "\"tree_height\":%zu,\"tree_leaves\":%zu,\"tree_nodes\":%zu,"
       "\"tree_pages\":%zu,\"tree_supernodes\":%zu,\"validation\":\"%s\"",
-      ApproxAlgorithmName((*index)->options().algorithm), (*index)->dim(),
-      (*index)->ExpectedCandidates(), lp_sample, (*index)->size(),
+      ApproxAlgorithmName(index->options().algorithm), index->dim(),
+      index->ExpectedCandidates(), lp_sample, index->size(),
       probe_queries, info.height, info.num_leaves, info.num_nodes,
       info.total_pages, info.num_supernodes,
-      (*index)->ValidateTree().empty() ? "OK" : "FAILED");
+      index->ValidateTree().empty() ? "OK" : "FAILED");
   out += buf;
   out += "},\"metrics\":";
   out += registry.SnapshotJson();
@@ -339,24 +398,102 @@ int Stats(int argc, char** argv) {
   return 0;
 }
 
+int Checkpoint(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: nncell_cli checkpoint <dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[2];
+  if (!fs::IsDirectory(dir)) {
+    std::fprintf(stderr, "%s is not a durable index directory\n", dir.c_str());
+    return 2;
+  }
+  NNCellIndex::RecoveryInfo info;
+  auto idx = NNCellIndex::Open(dir, 0, NNCellOptions(),
+                               NNCellIndex::DurableOptions(), &info);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "%s\n", idx.status().ToString().c_str());
+    return 1;
+  }
+  Status st = (*idx)->Checkpoint();
+  if (!st.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "checkpointed %s: %zu live points, %llu wal records folded into the "
+      "snapshot\n",
+      dir.c_str(), (*idx)->size(),
+      static_cast<unsigned long long>(info.wal_records_replayed));
+  return 0;
+}
+
+int Recover(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: nncell_cli recover <dir> [--dim=N]\n");
+    return 2;
+  }
+  const std::string dir = argv[2];
+  if (!fs::IsDirectory(dir)) {
+    std::fprintf(stderr, "%s is not a durable index directory\n", dir.c_str());
+    return 2;
+  }
+  size_t dim = 0;
+  if (const char* d = FlagValue(argc, argv, "--dim")) {
+    dim = std::strtoul(d, nullptr, 10);
+  }
+  NNCellIndex::RecoveryInfo info;
+  auto idx = NNCellIndex::Open(dir, dim, NNCellOptions(),
+                               NNCellIndex::DurableOptions(), &info);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 idx.status().ToString().c_str());
+    return 1;
+  }
+  std::string tree_check = (*idx)->ValidateTree();
+  std::printf("recovered %s:\n", dir.c_str());
+  std::printf("  snapshot:        %s\n",
+              info.snapshot_loaded
+                  ? ("loaded (covers wal lsn " +
+                     std::to_string(info.snapshot_wal_lsn) + ")")
+                        .c_str()
+                  : (info.created ? "none (fresh index)" : "none"));
+  std::printf("  wal replayed:    %llu records\n",
+              static_cast<unsigned long long>(info.wal_records_replayed));
+  std::printf("  wal skipped:     %llu records (already in snapshot)\n",
+              static_cast<unsigned long long>(info.wal_records_skipped));
+  std::printf("  wal torn tail:   %llu bytes truncated\n",
+              static_cast<unsigned long long>(info.wal_torn_bytes));
+  std::printf("  live points:     %zu (dim %zu)\n", (*idx)->size(),
+              (*idx)->dim());
+  std::printf("  tree validation: %s\n",
+              tree_check.empty() ? "OK" : tree_check.c_str());
+  return tree_check.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: nncell_cli <build|query|stats> ...\n"
-                 "  build <points.csv> <out.nncell> [--algorithm=A]"
-                 " [--decompose=K] [--xtree=0|1] [--threads=N]\n"
-                 "  query <index.nncell> <queries.csv> [--k=N] [--threads=N]"
-                 " [--trace]\n"
-                 "  stats <index.nncell> [--json] [--probe-queries=N]"
-                 " [--lp-sample=N] [--seed=S]\n");
+                 "usage: nncell_cli <build|query|stats|checkpoint|recover>"
+                 " ...\n"
+                 "  build <points.csv> <out.nncell|dir> [--algorithm=A]"
+                 " [--decompose=K] [--xtree=0|1] [--threads=N] [--durable]\n"
+                 "  query <index.nncell|dir> <queries.csv> [--k=N]"
+                 " [--threads=N] [--trace]\n"
+                 "  stats <index.nncell|dir> [--json] [--probe-queries=N]"
+                 " [--lp-sample=N] [--seed=S]\n"
+                 "  checkpoint <dir>\n"
+                 "  recover <dir> [--dim=N]\n");
     return 2;
   }
   std::string cmd = argv[1];
   if (cmd == "build") return Build(argc, argv);
   if (cmd == "query") return Query(argc, argv);
   if (cmd == "stats") return Stats(argc, argv);
+  if (cmd == "checkpoint") return Checkpoint(argc, argv);
+  if (cmd == "recover") return Recover(argc, argv);
   std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
   return 2;
 }
