@@ -8,10 +8,18 @@
 # NNCELL_WERROR promotes the always-on -Wall -Wextra to errors. CI builds
 # with it ON; it defaults OFF so exotic local compilers do not break the
 # build over a new warning.
+#
+# NNCELL_THREAD_SAFETY turns on Clang's static thread-safety analysis
+# (-Wthread-safety, promoted to an error) against the annotations in
+# common/thread_annotations.h. Clang-only: requesting it under another
+# compiler is a hard configure error rather than a silently weaker build,
+# because the `tsa` preset is a correctness gate (docs/STATIC_ANALYSIS.md).
 
 set(NNCELL_SANITIZE "" CACHE STRING
     "Sanitizers to enable: any of address;undefined;thread;leak")
 option(NNCELL_WERROR "Treat warnings as errors (-Werror)" OFF)
+option(NNCELL_THREAD_SAFETY
+       "Enable Clang -Wthread-safety static analysis (requires Clang)" OFF)
 
 function(nncell_apply_sanitizers)
   if(NNCELL_SANITIZE STREQUAL "")
@@ -61,4 +69,20 @@ function(nncell_apply_warnings)
     add_compile_options(-Werror)
     message(STATUS "nncell: -Werror enabled")
   endif()
+endfunction()
+
+function(nncell_apply_thread_safety)
+  if(NOT NNCELL_THREAD_SAFETY)
+    return()
+  endif()
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+        "NNCELL_THREAD_SAFETY requires Clang (-Wthread-safety is a Clang "
+        "analysis); configure with -DCMAKE_CXX_COMPILER=clang++ or use the "
+        "`tsa` preset. Current compiler: ${CMAKE_CXX_COMPILER_ID}")
+  endif()
+  # -Wthread-safety covers the core analysis; the error promotion makes the
+  # preset a gate even when NNCELL_WERROR is off.
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+  message(STATUS "nncell: Clang thread-safety analysis enabled")
 endfunction()

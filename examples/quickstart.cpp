@@ -51,7 +51,11 @@ int main() {
 
   // 5. Dynamic insert: the index stays exact as points arrive.
   auto id = index.Query(q);
-  index.Insert(q);  // insert the query point itself
+  auto inserted = index.Insert(q);  // insert the query point itself
+  if (!inserted.ok()) {
+    std::printf("insert failed: %s\n", inserted.status().ToString().c_str());
+    return 1;
+  }
   auto after = index.Query(q);
   std::printf("after inserting the query point: id=%llu dist=%.4f (was %.4f)\n",
               static_cast<unsigned long long>(after->id), after->dist,

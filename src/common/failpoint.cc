@@ -3,7 +3,8 @@
 #include <unistd.h>
 
 #include <map>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace nncell {
 namespace failpoint {
@@ -25,14 +26,20 @@ struct SiteState {
   uint64_t evaluations = 0;
 };
 
-std::mutex& Mu() {
-  static std::mutex mu;
-  return mu;
-}
+// The site registry: one mutex guarding the whole map, so the thread-safety
+// analysis can see the lock discipline (a bare function-local static map
+// would be invisible to it). Heap-allocated and never destroyed to dodge
+// static-destruction-order races with late Check() calls from detached
+// threads. nncell-lint: allow(naked-new) process-lifetime singleton.
+struct SiteRegistry {
+  Mutex mu;
+  std::map<std::string, SiteState> sites NNCELL_GUARDED_BY(mu);
+};
 
-std::map<std::string, SiteState>& Sites() {
-  static std::map<std::string, SiteState> sites;
-  return sites;
+SiteRegistry& Reg() {
+  // nncell-lint: allow(naked-new) process-lifetime singleton, never freed
+  static SiteRegistry* const reg = new SiteRegistry();
+  return *reg;
 }
 
 }  // namespace
@@ -40,8 +47,9 @@ std::map<std::string, SiteState>& Sites() {
 namespace internal {
 
 Action CheckSlow(const char* name) {
-  std::lock_guard<std::mutex> lock(Mu());
-  SiteState& site = Sites()[name];
+  SiteRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  SiteState& site = reg.sites[name];
   ++site.evaluations;
   if (!site.armed) return Action::kOff;
   if (site.skip > 0) {
@@ -50,6 +58,7 @@ Action CheckSlow(const char* name) {
   }
   // One-shot: fire and disarm, so recovery re-running the site succeeds.
   site.armed = false;
+  // nncell-lint: allow(relaxed-atomics) mutated under registry mutex; hint only
   internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
   return site.action;
 }
@@ -57,9 +66,11 @@ Action CheckSlow(const char* name) {
 }  // namespace internal
 
 void Arm(const std::string& name, Action action, int skip) {
-  std::lock_guard<std::mutex> lock(Mu());
-  SiteState& site = Sites()[name];
+  SiteRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  SiteState& site = reg.sites[name];
   if (!site.armed) {
+    // nncell-lint: allow(relaxed-atomics) mutated under registry mutex; hint only
     internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   }
   site.armed = true;
@@ -68,18 +79,22 @@ void Arm(const std::string& name, Action action, int skip) {
 }
 
 void Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mu());
-  auto it = Sites().find(name);
-  if (it != Sites().end() && it->second.armed) {
+  SiteRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  auto it = reg.sites.find(name);
+  if (it != reg.sites.end() && it->second.armed) {
     it->second.armed = false;
+    // nncell-lint: allow(relaxed-atomics) mutated under the registry mutex
     internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(Mu());
-  for (auto& [name, site] : Sites()) {
+  SiteRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  for (auto& [name, site] : reg.sites) {
     if (site.armed) {
+      // nncell-lint: allow(relaxed-atomics) mutated under the registry mutex
       internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
     }
     site = SiteState{};
@@ -87,9 +102,10 @@ void DisarmAll() {
 }
 
 uint64_t Evaluations(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mu());
-  auto it = Sites().find(name);
-  return it == Sites().end() ? 0 : it->second.evaluations;
+  SiteRegistry& reg = Reg();
+  MutexLock lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.evaluations;
 }
 
 #endif  // NNCELL_FAILPOINTS

@@ -56,6 +56,7 @@ Action CheckSlow(const char* name);
 // Evaluates the failpoint `name`. Fast path (nothing armed anywhere):
 // one relaxed load.
 inline Action Check(const char* name) {
+  // nncell-lint: allow(relaxed-atomics) pure hint; CheckSlow re-checks under mutex
   if (internal::g_armed_count.load(std::memory_order_relaxed) == 0) {
     return Action::kOff;
   }

@@ -43,6 +43,7 @@ Registry::Registry() {
 
 Registry& Registry::Global() {
   // Leaked singleton: instrumented code may run during static destruction.
+  // nncell-lint: allow(naked-new) process-lifetime singleton, never freed
   static Registry* const g = new Registry();
   return *g;
 }

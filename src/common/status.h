@@ -25,7 +25,12 @@ enum class StatusCode {
 
 // A lightweight absl::Status-alike: an error code plus a human-readable
 // message. Cheap to copy in the OK case.
-class Status {
+//
+// [[nodiscard]]: ignoring a returned Status is a compile error under
+// -Werror (the werror/tsa presets and CI). A deliberate discard must be
+// spelled `(void)expr;` with a comment saying why it is safe -- and
+// tools/nncell_lint.py rejects naked discards the compiler cannot see.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -91,9 +96,10 @@ class Status {
 };
 
 // Minimal StatusOr: either an OK status plus a value, or a non-OK status.
-// T does not need to be default-constructible.
+// T does not need to be default-constructible. [[nodiscard]] like Status:
+// dropping a StatusOr drops both the error and the value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     NNCELL_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");

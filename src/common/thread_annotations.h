@@ -1,0 +1,150 @@
+#ifndef NNCELL_COMMON_THREAD_ANNOTATIONS_H_
+#define NNCELL_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang Thread Safety Analysis for the concurrent surface of the engine
+// (docs/STATIC_ANALYSIS.md has the full conventions). Every mutex-protected
+// member is declared NNCELL_GUARDED_BY(mu), every function with a locking
+// precondition NNCELL_REQUIRES(mu), and the `tsa` CMake preset turns the
+// analysis into a -Werror build gate. On compilers without the attribute
+// (GCC, MSVC) every macro expands to nothing, so the annotations are
+// zero-cost documentation there and compile-time proof under Clang.
+//
+// The analysis only understands capabilities it can see, so locking goes
+// through the annotated wrappers below (nncell::Mutex / MutexLock /
+// CondVar) rather than raw std::mutex. The wrappers are zero-overhead:
+// each is exactly its std counterpart plus attributes.
+//
+// Annotation conventions for new code:
+//   * A member touched under a mutex is NNCELL_GUARDED_BY(mu) -- no
+//     exceptions inside annotated modules; lock-free atomics are the only
+//     unguarded mutable shared state.
+//   * A private helper called with the lock held takes
+//     NNCELL_REQUIRES(mu) instead of re-locking.
+//   * Public functions that must not be called with the lock held (they
+//     acquire it) are NNCELL_EXCLUDES(mu) where deadlock is plausible.
+//   * No NNCELL_NO_THREAD_SAFETY_ANALYSIS escapes in annotated modules;
+//     restructure the code so the analysis can follow it.
+
+#if defined(__clang__)
+#define NNCELL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NNCELL_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// Declares a type to be a capability ("mutex") the analysis tracks.
+#define NNCELL_CAPABILITY(x) NNCELL_THREAD_ANNOTATION(capability(x))
+
+// RAII types whose lifetime is a critical section.
+#define NNCELL_SCOPED_CAPABILITY NNCELL_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: may only be read/written while holding `x`.
+#define NNCELL_GUARDED_BY(x) NNCELL_THREAD_ANNOTATION(guarded_by(x))
+#define NNCELL_PT_GUARDED_BY(x) NNCELL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function preconditions: caller must hold / must not hold the capability.
+#define NNCELL_REQUIRES(...) \
+  NNCELL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NNCELL_REQUIRES_SHARED(...) \
+  NNCELL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define NNCELL_EXCLUDES(...) \
+  NNCELL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function effects: acquires / releases the capability.
+#define NNCELL_ACQUIRE(...) \
+  NNCELL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NNCELL_ACQUIRE_SHARED(...) \
+  NNCELL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define NNCELL_RELEASE(...) \
+  NNCELL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NNCELL_RELEASE_SHARED(...) \
+  NNCELL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define NNCELL_TRY_ACQUIRE(...) \
+  NNCELL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (teaches the analysis a
+// fact it cannot derive, e.g. across an external-synchronization boundary).
+#define NNCELL_ASSERT_CAPABILITY(x) \
+  NNCELL_THREAD_ANNOTATION(assert_capability(x))
+
+// Return-value aliasing: this function returns a reference to the mutex
+// that guards something.
+#define NNCELL_RETURN_CAPABILITY(x) NNCELL_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Policy: never used inside annotated modules (enforced by
+// tools/nncell_lint.py, check `tsa-escape`); exists for interop shims only.
+#define NNCELL_NO_THREAD_SAFETY_ANALYSIS \
+  NNCELL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace nncell {
+
+// std::mutex with the capability attribute, so the analysis can track what
+// it protects. Same size, same codegen; lock()/unlock() naming keeps it a
+// drop-in BasicLockable for std::lock_guard-style use (but prefer
+// MutexLock, which the analysis understands as a scoped capability).
+class NNCELL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NNCELL_ACQUIRE() { mu_.lock(); }
+  void unlock() NNCELL_RELEASE() { mu_.unlock(); }
+  bool try_lock() NNCELL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // No-op that tells the analysis the lock is held here (used when the
+  // holding is established by construction, e.g. single-owner phases).
+  void AssertHeld() const NNCELL_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII critical section over a Mutex; the analysis treats the guard's
+// lifetime as the region where the capability is held.
+class NNCELL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NNCELL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() NNCELL_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to nncell::Mutex. Wait() atomically releases
+// and re-acquires the mutex exactly like std::condition_variable::wait;
+// the NNCELL_REQUIRES annotation makes the caller's lock obligation a
+// compile-time fact (the analysis does not model the release/re-acquire
+// inside, which is fine: the capability is held on entry and on return).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // No predicate overload on purpose: the analysis treats a predicate
+  // lambda as a separate function that does not hold the capability, so
+  // callers spell the classic `while (!cond) cv.Wait(mu);` loop instead --
+  // which the analysis follows exactly.
+  void Wait(Mutex& mu) NNCELL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_THREAD_ANNOTATIONS_H_

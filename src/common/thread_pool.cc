@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   NNCELL_DCHECK(queued_.load() == 0);
 }
@@ -36,36 +36,39 @@ size_t ThreadPool::DefaultThreads() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   NNCELL_DCHECK(task != nullptr);
+  // nncell-lint: allow(relaxed-atomics) round-robin cursor, placement hint only
   size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
              queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    MutexLock lock(queues_[q]->mu);
     queues_[q]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
   // Empty critical section: pairs with the predicate check in WorkerLoop so
   // a worker between "queues looked empty" and "blocked" cannot miss us.
-  { std::lock_guard<std::mutex> lock(wake_mu_); }
-  wake_cv_.notify_one();
+  { MutexLock lock(wake_mu_); }
+  wake_cv_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::TryPop(size_t self) {
   {
     Queue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       std::function<void()> task = std::move(own.tasks.back());
       own.tasks.pop_back();
+      // nncell-lint: allow(relaxed-atomics) queue mutex orders the pop; count is a wake hint
       queued_.fetch_sub(1, std::memory_order_relaxed);
       return task;
     }
   }
   for (size_t i = 1; i < queues_.size(); ++i) {
     Queue& victim = *queues_[(self + i) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      // nncell-lint: allow(relaxed-atomics) queue mutex orders the steal; count is a wake hint
       queued_.fetch_sub(1, std::memory_order_relaxed);
       return task;
     }
@@ -79,10 +82,10 @@ void ThreadPool::WorkerLoop(size_t self) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(wake_mu_);
+    while (!stop_ && queued_.load(std::memory_order_acquire) == 0) {
+      wake_cv_.Wait(wake_mu_);
+    }
     if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
   }
 }
@@ -99,9 +102,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // the waiter observes 0 under the same mutex, after which no finisher
   // touches the group again -- so stack lifetime is safe.
   struct Group {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
+    Mutex mu;
+    CondVar cv;
+    size_t remaining NNCELL_GUARDED_BY(mu);
   } group{{}, {}, chunks};
 
   for (size_t c = 0; c < chunks; ++c) {
@@ -109,12 +112,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     const size_t hi = begin + n * (c + 1) / chunks;
     Submit([&group, &body, lo, hi] {
       for (size_t i = lo; i < hi; ++i) body(i);
-      std::lock_guard<std::mutex> lock(group.mu);
-      if (--group.remaining == 0) group.cv.notify_all();
+      MutexLock lock(group.mu);
+      if (--group.remaining == 0) group.cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(group.mu);
-  group.cv.wait(lock, [&group] { return group.remaining == 0; });
+  MutexLock lock(group.mu);
+  while (group.remaining != 0) group.cv.Wait(group.mu);
 }
 
 }  // namespace nncell

@@ -2,14 +2,14 @@
 #define NNCELL_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace nncell {
 
@@ -52,8 +52,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks NNCELL_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t self);
@@ -65,9 +65,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::atomic<size_t> queued_{0};      // pushed, not yet popped
   std::atomic<size_t> next_queue_{0};  // round-robin submit cursor
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool stop_ = false;  // guarded by wake_mu_
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  bool stop_ NNCELL_GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace nncell

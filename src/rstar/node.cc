@@ -52,6 +52,7 @@ const uint8_t* NodeStore::AssembleNode(PageId id) const {
   // The caller holds a pin on `id` (see VisitNode / Read), so the first
   // frame cannot move under us and, for the single-page common case, stays
   // valid after we return.
+  // nncell-lint: allow(unpinned-fetch) pin held by caller (VisitNode/Read)
   const uint8_t* first = pool_->Fetch(id);
   uint32_t num_extra;
   std::memcpy(&num_extra, first + 4, sizeof(num_extra));

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page_file.h"
 
 namespace nncell {
@@ -141,15 +141,15 @@ class BufferPool {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    size_t capacity = 0;
-    std::vector<Frame> frames;
-    std::list<size_t> lru;  // front = most recent
-    std::unordered_map<PageId, size_t> map;
-    std::vector<size_t> free_frames;
-    size_t pinned_frames = 0;
-    size_t dirty_frames = 0;
-    ShardStats stats;
+    mutable Mutex mu;
+    size_t capacity = 0;  // fixed at construction, read-only afterwards
+    std::vector<Frame> frames NNCELL_GUARDED_BY(mu);
+    std::list<size_t> lru NNCELL_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<PageId, size_t> map NNCELL_GUARDED_BY(mu);
+    std::vector<size_t> free_frames NNCELL_GUARDED_BY(mu);
+    size_t pinned_frames NNCELL_GUARDED_BY(mu) = 0;
+    size_t dirty_frames NNCELL_GUARDED_BY(mu) = 0;
+    ShardStats stats;  // relaxed atomics: lock-free reads by stats()
   };
 
   // Pools smaller than this stay single-sharded (exact classic LRU
@@ -162,16 +162,17 @@ class BufferPool {
   }
 
   // All helpers below require shard.mu to be held by the caller.
-  Frame& GetFrame(Shard& shard, PageId id, bool load_from_disk);
-  void Touch(Shard& shard, size_t frame_idx);
-  size_t EvictOne(Shard& shard);
-  void MarkDirty(Shard& shard, Frame& f) {
+  Frame& GetFrame(Shard& shard, PageId id, bool load_from_disk)
+      NNCELL_REQUIRES(shard.mu);
+  void Touch(Shard& shard, size_t frame_idx) NNCELL_REQUIRES(shard.mu);
+  size_t EvictOne(Shard& shard) NNCELL_REQUIRES(shard.mu);
+  void MarkDirty(Shard& shard, Frame& f) NNCELL_REQUIRES(shard.mu) {
     if (!f.dirty) {
       f.dirty = true;
       ++shard.dirty_frames;
     }
   }
-  void ClearDirty(Shard& shard, Frame& f) {
+  void ClearDirty(Shard& shard, Frame& f) NNCELL_REQUIRES(shard.mu) {
     if (f.dirty) {
       f.dirty = false;
       NNCELL_CHECK(shard.dirty_frames > 0);

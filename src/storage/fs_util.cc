@@ -14,11 +14,24 @@
 namespace nncell {
 namespace fs {
 
+std::string ErrnoMessage(const std::string& what) {
+  // strerror_r instead of strerror: the WAL and snapshot paths can fail on
+  // several threads at once and must not share libc's static buffer. Handle
+  // both the XSI (int) and GNU (char*) variants.
+  char buf[128];
+  buf[0] = '\0';
+  const int err = errno;
+#if defined(_GNU_SOURCE) || (defined(__GLIBC__) && defined(__USE_GNU))
+  const char* msg = strerror_r(err, buf, sizeof(buf));
+#else
+  const char* msg = strerror_r(err, buf, sizeof(buf)) == 0 ? buf : "unknown";
+#endif
+  return what + ": " + msg;
+}
+
 namespace {
 
-std::string Errno(const std::string& what) {
-  return what + ": " + std::strerror(errno);
-}
+std::string Errno(const std::string& what) { return ErrnoMessage(what); }
 
 std::string ParentDir(const std::string& path) {
   size_t slash = path.find_last_of('/');

@@ -13,6 +13,11 @@ namespace fs {
 // return Status; the write paths carry the failpoints the crash matrix
 // injects into (names below; semantics in common/failpoint.h).
 
+// "`what`: <strerror(errno)>", via strerror_r so concurrent error paths
+// never share libc's static buffer (WAL appends from several threads can
+// fail at once).
+std::string ErrnoMessage(const std::string& what);
+
 bool PathExists(const std::string& path);
 bool IsDirectory(const std::string& path);
 

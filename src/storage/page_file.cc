@@ -64,7 +64,7 @@ void PageFile::Free(PageId id) {
 
 void PageFile::Read(PageId id, uint8_t* out) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++disk_reads_;
     ++per_disk_reads_[id % per_disk_reads_.size()];
   }
@@ -78,12 +78,12 @@ void PageFile::Read(PageId id, uint8_t* out) {
 
 void PageFile::SetDeclustering(size_t disks) {
   NNCELL_CHECK(disks >= 1);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   per_disk_reads_.assign(disks, 0);
 }
 
 uint64_t PageFile::MaxDiskReads() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   uint64_t worst = 0;
   for (uint64_t v : per_disk_reads_) worst = std::max(worst, v);
   return worst;
@@ -91,7 +91,7 @@ uint64_t PageFile::MaxDiskReads() const {
 
 void PageFile::Write(PageId id, const uint8_t* data) {  // writes not declustered (build-time)
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++disk_writes_;
   }
   NNCELL_METRIC_COUNT(Metrics().write_pages, 1);

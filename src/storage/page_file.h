@@ -4,12 +4,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace nncell {
 
@@ -55,15 +55,15 @@ class PageFile {
   void Write(PageId id, const uint8_t* data);
 
   uint64_t disk_reads() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     return disk_reads_;
   }
   uint64_t disk_writes() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     return disk_writes_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     disk_reads_ = disk_writes_ = 0;
     std::fill(per_disk_reads_.begin(), per_disk_reads_.end(), uint64_t{0});
   }
@@ -75,7 +75,7 @@ class PageFile {
   // the sum. disks = 1 (default) models a single device.
   void SetDeclustering(size_t disks);
   size_t disks() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     return per_disk_reads_.size();
   }
   uint64_t MaxDiskReads() const;
@@ -110,12 +110,12 @@ class PageFile {
   }
 
   size_t page_size_;
-  std::vector<uint8_t> pages_;
-  std::vector<PageId> free_list_;
-  mutable std::mutex stats_mu_;  // guards the access counters below
-  uint64_t disk_reads_ = 0;
-  uint64_t disk_writes_ = 0;
-  std::vector<uint64_t> per_disk_reads_ = {0};
+  std::vector<uint8_t> pages_;      // writer-exclusive (threading contract)
+  std::vector<PageId> free_list_;   // writer-exclusive (threading contract)
+  mutable Mutex stats_mu_;  // guards the access counters below
+  uint64_t disk_reads_ NNCELL_GUARDED_BY(stats_mu_) = 0;
+  uint64_t disk_writes_ NNCELL_GUARDED_BY(stats_mu_) = 0;
+  std::vector<uint64_t> per_disk_reads_ NNCELL_GUARDED_BY(stats_mu_) = {0};
 };
 
 }  // namespace nncell

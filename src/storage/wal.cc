@@ -54,11 +54,12 @@ uint32_t RecordCrc(uint64_t lsn, const uint8_t* payload, size_t len) {
 WriteAheadLog::WriteAheadLog(std::string path, int fd, uint64_t next_lsn,
                              size_t group_sync)
     : path_(std::move(path)),
+      group_sync_(group_sync == 0 ? 1 : group_sync),
       fd_(fd),
-      next_lsn_(next_lsn),
-      group_sync_(group_sync == 0 ? 1 : group_sync) {}
+      next_lsn_(next_lsn) {}
 
 WriteAheadLog::~WriteAheadLog() {
+  MutexLock lock(mu_);
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -167,23 +168,22 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 
   int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
   if (fd < 0) {
-    return Status::Internal("open " + path + ": " + std::strerror(errno));
+    return Status::Internal(fs::ErrnoMessage("open " + path));
   }
   if (rec.torn_bytes > 0) {
     if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
       ::close(fd);
-      return Status::Internal("ftruncate " + path + ": " +
-                              std::strerror(errno));
+      return Status::Internal(fs::ErrnoMessage("ftruncate " + path));
     }
     if (::fsync(fd) != 0) {
       ::close(fd);
-      return Status::Internal("fsync " + path + ": " + std::strerror(errno));
+      return Status::Internal(fs::ErrnoMessage("fsync " + path));
     }
     NNCELL_METRIC_COUNT(Metrics().tail_truncations, 1);
   }
   if (::lseek(fd, 0, SEEK_END) < 0) {
     ::close(fd);
-    return Status::Internal("lseek " + path + ": " + std::strerror(errno));
+    return Status::Internal(fs::ErrnoMessage("lseek " + path));
   }
 
   uint64_t last =
@@ -194,6 +194,9 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 }
 
 Status WriteAheadLog::Append(std::string_view payload) {
+  // One critical section for LSN assignment + write + group-sync decision:
+  // concurrent appenders interleave whole records, in LSN order.
+  MutexLock lock(mu_);
   if (!healthy_) {
     return Status::FailedPrecondition(
         "wal disabled by an earlier write failure; reopen to recover");
@@ -220,11 +223,16 @@ Status WriteAheadLog::Append(std::string_view payload) {
   ++unsynced_;
   NNCELL_METRIC_COUNT(Metrics().appends, 1);
   NNCELL_METRIC_COUNT(Metrics().append_bytes, record.size());
-  if (unsynced_ >= group_sync_) return Sync();
+  if (unsynced_ >= group_sync_) return SyncLocked();
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
+  MutexLock lock(mu_);
+  return SyncLocked();
+}
+
+Status WriteAheadLog::SyncLocked() {
   if (!healthy_) {
     return Status::FailedPrecondition(
         "wal disabled by an earlier write failure; reopen to recover");
@@ -245,16 +253,17 @@ Status WriteAheadLog::Truncate(uint64_t new_start_lsn) {
     failpoint::Crash();
   }
   NNCELL_RETURN_IF_ERROR(fs::WriteFileAtomic(path_, HeaderBytes(new_start_lsn)));
+  MutexLock lock(mu_);
   // The old fd points at the replaced inode; switch to the new log.
   int fd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
   if (fd < 0) {
     healthy_ = false;
-    return Status::Internal("open " + path_ + ": " + std::strerror(errno));
+    return Status::Internal(fs::ErrnoMessage("open " + path_));
   }
   if (::lseek(fd, 0, SEEK_END) < 0) {
     ::close(fd);
     healthy_ = false;
-    return Status::Internal("lseek " + path_ + ": " + std::strerror(errno));
+    return Status::Internal(fs::ErrnoMessage("lseek " + path_));
   }
   ::close(fd_);
   fd_ = fd;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace nncell {
 
@@ -30,6 +31,14 @@ namespace nncell {
 // fails immediately, because the file offset after a partial write is
 // unknown. The owner must recover by reopening (which re-scans and
 // truncates) -- matching how the durable index surfaces I/O faults.
+//
+// Thread safety: Append / Sync / last_lsn / healthy may be called from
+// several threads at once; one internal mutex serializes the append and
+// group-sync path (LSN assignment, the write, and the sync decision are
+// one critical section, so records hit the file in LSN order). Truncate
+// still requires external exclusion from concurrent appenders -- it
+// replaces the file wholesale, which cannot be meaningfully interleaved
+// with appends the checkpoint has not folded in.
 class WriteAheadLog {
  public:
   struct Record {
@@ -73,20 +82,30 @@ class WriteAheadLog {
 
   // LSN of the last appended (or recovered) record; records created by the
   // next Append get last_lsn() + 1.
-  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  uint64_t last_lsn() const {
+    MutexLock lock(mu_);
+    return next_lsn_ - 1;
+  }
   const std::string& path() const { return path_; }
-  bool healthy() const { return healthy_; }
+  bool healthy() const {
+    MutexLock lock(mu_);
+    return healthy_;
+  }
 
  private:
   WriteAheadLog(std::string path, int fd, uint64_t next_lsn,
                 size_t group_sync);
 
-  std::string path_;
-  int fd_;
-  uint64_t next_lsn_;
-  size_t group_sync_;
-  size_t unsynced_ = 0;
-  bool healthy_ = true;
+  // Sync body shared by Append's group-commit tail and the public Sync().
+  Status SyncLocked() NNCELL_REQUIRES(mu_);
+
+  const std::string path_;
+  const size_t group_sync_;
+  mutable Mutex mu_;  // serializes the append / group-sync critical section
+  int fd_ NNCELL_GUARDED_BY(mu_);
+  uint64_t next_lsn_ NNCELL_GUARDED_BY(mu_);
+  size_t unsynced_ NNCELL_GUARDED_BY(mu_) = 0;
+  bool healthy_ NNCELL_GUARDED_BY(mu_) = true;
 };
 
 }  // namespace nncell

@@ -1,0 +1,12 @@
+#include <vector>
+
+#include "common/check.h"
+
+namespace nncell {
+
+void PopChecked(std::vector<int>& v, int& cursor) {
+  NNCELL_DCHECK(++cursor < 10);
+  NNCELL_CHECK(v.erase(v.begin()) != v.end());
+}
+
+}  // namespace nncell

@@ -1,0 +1,14 @@
+#include <vector>
+
+#include "common/check.h"
+
+namespace nncell {
+
+void PopChecked(std::vector<int>& v, int& cursor) {
+  ++cursor;
+  NNCELL_DCHECK(cursor < 10);
+  auto it = v.erase(v.begin());
+  NNCELL_CHECK(it != v.end());
+}
+
+}  // namespace nncell

@@ -1,0 +1,7 @@
+namespace nncell {
+
+struct Node {};
+
+Node* MakeNode() { return new Node(); }
+
+}  // namespace nncell

@@ -1,0 +1,15 @@
+#include <memory>
+
+namespace nncell {
+
+struct Node {};
+
+std::unique_ptr<Node> MakeNode() { return std::make_unique<Node>(); }
+
+Node& Singleton() {
+  // nncell-lint: allow(naked-new) process-lifetime singleton, never freed
+  static Node* const g = new Node();
+  return *g;
+}
+
+}  // namespace nncell

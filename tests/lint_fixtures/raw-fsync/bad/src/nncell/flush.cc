@@ -1,0 +1,7 @@
+#include <unistd.h>
+
+namespace nncell {
+
+void FlushFd(int fd) { fsync(fd); }
+
+}  // namespace nncell

@@ -1,0 +1,7 @@
+#include "storage/fs_util.h"
+
+namespace nncell {
+
+Status FlushFd(int fd) { return fs::SyncFd(fd); }
+
+}  // namespace nncell

@@ -1,0 +1,9 @@
+#include <atomic>
+
+namespace nncell {
+
+std::atomic<int> g_hits{0};
+
+void Bump() { g_hits.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace nncell

@@ -1,0 +1,12 @@
+#include <atomic>
+
+namespace nncell {
+
+std::atomic<int> g_hits{0};
+
+void Bump() {
+  // nncell-lint: allow(relaxed-atomics) monotonic hint counter, no ordering
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace nncell

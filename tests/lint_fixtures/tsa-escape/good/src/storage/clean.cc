@@ -1,0 +1,17 @@
+#include "common/thread_annotations.h"
+
+namespace nncell {
+
+class Box {
+ public:
+  void Set(int v) {
+    MutexLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ NNCELL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace nncell

@@ -1,0 +1,10 @@
+#include "storage/buffer_pool.h"
+
+namespace nncell {
+
+const char* ReadNodeUnsafe(BufferPool* pool, PageId id) {
+  Frame* frame = pool->Fetch(id);
+  return frame->data();
+}
+
+}  // namespace nncell

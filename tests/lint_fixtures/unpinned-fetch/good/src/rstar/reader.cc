@@ -1,0 +1,11 @@
+#include "storage/buffer_pool.h"
+
+namespace nncell {
+
+const char* ReadNodePinned(BufferPool* pool, PageId id) {
+  PageGuard guard(pool, id);  // pin keeps the frame resident
+  Frame* frame = pool->Fetch(id);
+  return frame->data();
+}
+
+}  // namespace nncell

@@ -1,0 +1,13 @@
+#ifndef FIXTURE_DURABLE_FORMAT_H_
+#define FIXTURE_DURABLE_FORMAT_H_
+
+#include <cstddef>
+
+namespace nncell {
+
+inline constexpr size_t kWalHeaderBytes = 24;
+inline constexpr size_t kWalRecordHeaderBytes = 20;
+
+}  // namespace nncell
+
+#endif  // FIXTURE_DURABLE_FORMAT_H_

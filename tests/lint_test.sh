@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# ctest wrapper for tools/nncell_lint.py: first the fixture self-test (every
+# check fires on its bad tree, stays silent on the good twin), then a full
+# scan of the repository. Either failing fails the test.
+set -euo pipefail
+
+REPO_ROOT="${1:?usage: lint_test.sh <repo-root>}"
+
+PYTHON="${PYTHON:-python3}"
+if ! command -v "$PYTHON" >/dev/null 2>&1; then
+  echo "lint_test: $PYTHON not found; skipping" >&2
+  exit 127
+fi
+
+"$PYTHON" "$REPO_ROOT/tools/nncell_lint.py" --test-fixtures
+"$PYTHON" "$REPO_ROOT/tools/nncell_lint.py" --root "$REPO_ROOT"

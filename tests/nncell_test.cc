@@ -396,7 +396,7 @@ TEST(NNCellIndexTest, CheckInvariantsOnEveryLifecyclePhase) {
   for (int i = 0; i < 15; ++i) {
     std::vector<double> p = {rng.NextDouble(), rng.NextDouble(),
                              rng.NextDouble()};
-    fx.index->Insert(p);
+    ASSERT_TRUE(fx.index->Insert(p).ok());
   }
   ASSERT_TRUE(fx.index->CheckInvariants(50).ok());
   // Deletions.

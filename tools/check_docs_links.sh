@@ -11,6 +11,9 @@
 #     every on-disk format constant (magic, version, size, op code, file
 #     name) is documented with its exact value, and every constant the
 #     document names still exists in the persistence-layer headers.
+#  4. docs/STATIC_ANALYSIS.md's lint-check table and
+#     `tools/nncell_lint.py --list-checks` must agree exactly: every
+#     registered check is documented and every documented check exists.
 #
 # Usage: check_docs_links.sh [repo-root]
 
@@ -143,10 +146,51 @@ for c in $doc_consts; do
   fi
 done
 
+# --- 4. STATIC_ANALYSIS.md <-> nncell_lint.py ------------------------------
+
+lint_tool="tools/nncell_lint.py"
+sa_doc="docs/STATIC_ANALYSIS.md"
+
+for required in "$lint_tool" "$sa_doc"; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING FILE: $required"
+    exit 1
+  fi
+done
+
+n_lint_checks=0
+if command -v python3 >/dev/null 2>&1; then
+  # Registered checks, from the tool itself (the single source of truth).
+  tool_checks=$(python3 "$lint_tool" --list-checks | cut -d: -f1 | sort -u)
+  # Documented checks: first-column backticked names in the doc's table.
+  doc_checks=$(grep -oE '^\| `[a-z0-9-]+` \|' "$sa_doc" \
+               | sed -E 's/^\| `([a-z0-9-]+)` \|/\1/' | sort -u)
+
+  undocumented_checks=$(comm -23 <(printf '%s\n' "$tool_checks") \
+                                 <(printf '%s\n' "$doc_checks"))
+  if [ -n "$undocumented_checks" ]; then
+    echo "UNDOCUMENTED LINT CHECKS (registered in $lint_tool, missing from" \
+         "$sa_doc's table):"
+    printf '  %s\n' $undocumented_checks
+    fail=1
+  fi
+
+  stale_checks=$(comm -13 <(printf '%s\n' "$tool_checks") \
+                          <(printf '%s\n' "$doc_checks"))
+  if [ -n "$stale_checks" ]; then
+    echo "STALE DOC LINT CHECKS (in $sa_doc, not registered in $lint_tool):"
+    printf '  %s\n' $stale_checks
+    fail=1
+  fi
+  n_lint_checks=$(printf '%s\n' "$tool_checks" | wc -l | tr -d ' ')
+else
+  echo "note: python3 not found; skipping lint-check table drift check"
+fi
+
 if [ "$fail" -eq 0 ]; then
   n_links=$(printf '%s\n' "$md_files" | wc -l | tr -d ' ')
   n_names=$(printf '%s\n' "$src_names" | wc -l | tr -d ' ')
   echo "docs check OK: $n_links markdown files, $n_names metrics," \
-       "$n_consts format constants in sync"
+       "$n_consts format constants, $n_lint_checks lint checks in sync"
 fi
 exit "$fail"

@@ -1,0 +1,417 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for the nncell codebase.
+
+Fast, dependency-free checks for invariants the compilers cannot see
+(docs/STATIC_ANALYSIS.md explains where this sits among the four analysis
+layers). Each check has a firing and a silent fixture tree under
+tests/lint_fixtures/<check>/{bad,good}/ and is self-tested by
+`--test-fixtures` (the `tool_lint_check` ctest and the static-analysis CI
+job run that mode plus a full-tree scan).
+
+Usage:
+  tools/nncell_lint.py                  # lint the repository
+  tools/nncell_lint.py --root DIR       # lint another tree (fixtures use this)
+  tools/nncell_lint.py --list-checks    # one "name: description" line each
+  tools/nncell_lint.py --test-fixtures  # verify every check against fixtures
+
+Suppressions: a deliberate violation is silenced with an inline annotation
+on the offending line or the line directly above:
+
+    // nncell-lint: allow(check-name) reason why this is safe
+
+The reason is mandatory; an allow() without one is itself a violation.
+The `tsa-escape` check accepts no suppression at all (the zero-suppression
+policy for thread-safety-annotated modules).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Infrastructure
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and // comments, preserving column
+    positions, so pattern checks do not fire on prose."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None  # the quote character, when inside a literal
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" " if c != in_str else c)
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest of the line is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+ALLOW_RE = re.compile(r"nncell-lint:\s*allow\(([a-z0-9-]+)\)\s*(\S.*)?")
+
+
+def find_allow(lines, idx, check_name):
+    """True when line idx or idx-1 carries a valid allow(check_name)
+    annotation; 'missing reason' findings are reported by the caller."""
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = ALLOW_RE.search(lines[j])
+        if m and m.group(1) == check_name:
+            return True, bool(m.group(2) and m.group(2).strip())
+    return False, False
+
+
+class Finding:
+    def __init__(self, check, path, lineno, message):
+        self.check = check
+        self.path = path
+        self.lineno = lineno
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.lineno, self.check,
+                                   self.message)
+
+
+def iter_source_files(root, suffixes):
+    """Yields (abspath, relpath) for the tracked-source layout, skipping
+    build trees and the lint fixtures themselves."""
+    skip_dirs = {".git", "third_party"}
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel_dir = os.path.relpath(dirpath, root)
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in skip_dirs and not d.startswith("build")
+            and os.path.join(rel_dir, d).replace("\\", "/").lstrip("./")
+            != "tests/lint_fixtures"
+        ]
+        for f in sorted(filenames):
+            if f.endswith(suffixes):
+                p = os.path.join(dirpath, f)
+                yield p, os.path.relpath(p, root).replace("\\", "/")
+
+
+def read_lines(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        return fh.read().splitlines()
+
+
+def suppressible(check):
+    """Wraps a per-line finding generator with the allow() protocol."""
+
+    def wrap(emit, lines, idx, path, message):
+        allowed, has_reason = find_allow(lines, idx, check)
+        if allowed and has_reason:
+            return
+        if allowed:
+            emit(Finding(check, path, idx + 1,
+                         "allow(%s) without a reason; state why the "
+                         "violation is safe" % check))
+            return
+        emit(Finding(check, path, idx + 1, message))
+
+    return wrap
+
+
+# --------------------------------------------------------------------------
+# Checks. Each is registered as (name, description, runner); a runner takes
+# (root, files, emit) where files is [(abspath, relpath)] of C++ sources and
+# emit collects Findings.
+
+CHECKS = []
+
+
+def check(name, description):
+    def deco(fn):
+        CHECKS.append((name, description, fn))
+        return fn
+
+    return deco
+
+
+@check("unpinned-fetch",
+       "BufferPool::Fetch outside src/storage must be covered by a "
+       "PageGuard pin in the enclosing lines (frame pointers are only "
+       "stable while pinned)")
+def check_unpinned_fetch(root, files, emit):
+    report = suppressible("unpinned-fetch")
+    fetch_re = re.compile(r"(->|\.)\s*Fetch\s*\(")
+    window = 25  # lines of lookback for the pin; covers every real idiom
+    for path, rel in files:
+        if not rel.startswith("src/") or rel.startswith("src/storage/"):
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if not fetch_re.search(code):
+                continue
+            lo = max(0, i - window)
+            context = "\n".join(lines[lo:i + 1])
+            if "PageGuard" in context:
+                continue
+            report(emit, lines, i, rel,
+                   "Fetch() without a PageGuard in the preceding %d lines; "
+                   "pin the page so the frame cannot be evicted mid-read" %
+                   window)
+
+
+@check("relaxed-atomics",
+       "std::memory_order_relaxed outside src/common/metrics.* must carry "
+       "an inline justification (relaxed ordering is a proof obligation)")
+def check_relaxed_atomics(root, files, emit):
+    report = suppressible("relaxed-atomics")
+    for path, rel in files:
+        if not rel.startswith("src/"):
+            continue
+        if rel in ("src/common/metrics.h", "src/common/metrics.cc",
+                   "src/common/metrics_names.h"):
+            continue  # the metrics layer is relaxed-by-design (documented)
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if "memory_order_relaxed" not in code:
+                continue
+            report(emit, lines, i, rel,
+                   "memory_order_relaxed outside the metrics layer; "
+                   "annotate with the invariant that makes relaxed "
+                   "ordering sound here")
+
+
+@check("naked-new",
+       "naked `new` outside src/storage (ownership belongs in "
+       "make_unique/containers; the storage layer and annotated "
+       "process-lifetime singletons are the only exceptions)")
+def check_naked_new(root, files, emit):
+    report = suppressible("naked-new")
+    new_re = re.compile(r"\bnew\b\s+[A-Za-z_:<]")
+    for path, rel in files:
+        if rel.startswith("src/storage/") or not rel.startswith(
+            ("src/", "tools/", "bench/", "examples/")):
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if not new_re.search(code):
+                continue
+            report(emit, lines, i, rel,
+                   "naked new; use std::make_unique / a container, or "
+                   "annotate a deliberate process-lifetime singleton")
+
+
+@check("raw-fsync",
+       "fsync/fdatasync outside src/storage (durability syscalls go "
+       "through fs_util so failpoints and Status propagation cover them)")
+def check_raw_fsync(root, files, emit):
+    report = suppressible("raw-fsync")
+    fsync_re = re.compile(r"\b(fsync|fdatasync)\s*\(")
+    for path, rel in files:
+        if rel.startswith("src/storage/") or not rel.startswith(
+            ("src/", "tools/", "bench/", "examples/")):
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if not fsync_re.search(code):
+                continue
+            report(emit, lines, i, rel,
+                   "raw %s call; route durability I/O through fs_util so "
+                   "failpoints and Status propagation see it" %
+                   fsync_re.search(code).group(1))
+
+
+CHECK_MACRO_RE = re.compile(r"\bNNCELL_D?CHECK(_MSG)?\s*\(")
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?!=)|\.erase\s*\(|\.pop_back\s*\(|"
+    r"\.push_back\s*\(|\.insert\s*\(")
+
+
+@check("check-side-effects",
+       "NNCELL_CHECK/DCHECK arguments must be side-effect free (DCHECKs "
+       "compile out in release builds, taking the side effect with them)")
+def check_side_effects(root, files, emit):
+    report = suppressible("check-side-effects")
+    for path, rel in files:
+        if not rel.startswith(("src/", "tools/", "bench/", "examples/",
+                               "tests/")):
+            continue
+        if rel == "src/common/check.h":
+            continue  # the macro definitions themselves
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            m = CHECK_MACRO_RE.search(code)
+            if not m:
+                continue
+            # The macro argument: from the opening paren to the matching
+            # close (single-line; multi-line CHECK args are rare and the
+            # continuation lines are scanned as part of this window).
+            arg = code[m.end():]
+            depth = 1
+            out = []
+            for c in arg:
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                out.append(c)
+            arg_text = "".join(out)
+            if SIDE_EFFECT_RE.search(arg_text):
+                report(emit, lines, i, rel,
+                       "side-effecting expression inside a check macro; "
+                       "hoist the mutation out (DCHECKs vanish in release "
+                       "builds)")
+
+
+@check("wal-format-drift",
+       "WAL record-size constants in src/storage/durable_format.h must "
+       "match the byte-level layout documented in docs/PERSISTENCE.md")
+def check_wal_format_drift(root, files, emit):
+    header = os.path.join(root, "src/storage/durable_format.h")
+    doc = os.path.join(root, "docs/PERSISTENCE.md")
+    if not os.path.exists(header) or not os.path.exists(doc):
+        return  # partial tree (fixture or subset scan): nothing to compare
+    const_re = re.compile(
+        r"inline constexpr \w+ (kWal[A-Za-z0-9]*(?:Bytes|Payload)) = "
+        r"(\d+)")
+    header_lines = read_lines(header)
+    doc_text = read_lines(doc)
+    doc_flat = "\n".join(doc_text).replace("`", "")
+    found = 0
+    for i, line in enumerate(header_lines):
+        m = const_re.search(line)
+        if not m:
+            continue
+        found += 1
+        name, value = m.group(1), m.group(2)
+        if "%s = %s" % (name, value) not in doc_flat:
+            emit(Finding("wal-format-drift", "src/storage/durable_format.h",
+                         i + 1,
+                         "%s = %s is not stated in docs/PERSISTENCE.md "
+                         "(update the doc or the format)" % (name, value)))
+    if found == 0:
+        emit(Finding("wal-format-drift", "src/storage/durable_format.h", 1,
+                     "no kWal*Bytes constants found; the WAL layout "
+                     "contract moved without updating this check"))
+
+
+@check("tsa-escape",
+       "NNCELL_NO_THREAD_SAFETY_ANALYSIS is banned in annotated modules "
+       "(src/common, src/storage, src/nncell); restructure instead "
+       "(not suppressible)")
+def check_tsa_escape(root, files, emit):
+    for path, rel in files:
+        if not rel.startswith(("src/common/", "src/storage/", "src/nncell/")):
+            continue
+        if rel == "src/common/thread_annotations.h":
+            continue  # the macro's definition
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if "NNCELL_NO_THREAD_SAFETY_ANALYSIS" in code:
+                emit(Finding("tsa-escape", rel, i + 1,
+                             "thread-safety analysis escape hatch in an "
+                             "annotated module; restructure the locking so "
+                             "the analysis can follow it"))
+
+
+# --------------------------------------------------------------------------
+# Drivers
+
+CXX_SUFFIXES = (".cc", ".cpp", ".h", ".hpp")
+
+
+def run_checks(root, only=None):
+    files = list(iter_source_files(root, CXX_SUFFIXES))
+    findings = []
+    for name, _desc, fn in CHECKS:
+        if only is not None and name != only:
+            continue
+        fn(root, files, findings.append)
+    return findings
+
+
+def run_fixture_tests(repo_root):
+    """Every check must fire on its bad fixture tree and stay silent on the
+    good twin; a missing fixture is a failure (checks do not ship without
+    regression coverage)."""
+    fixtures = os.path.join(repo_root, "tests", "lint_fixtures")
+    failures = []
+    for name, _desc, _fn in CHECKS:
+        for kind, expect_findings in (("bad", True), ("good", False)):
+            tree = os.path.join(fixtures, name, kind)
+            if not os.path.isdir(tree):
+                failures.append("%s: missing fixture tree %s" %
+                                (name, os.path.relpath(tree, repo_root)))
+                continue
+            found = [f for f in run_checks(tree, only=name)
+                     if f.check == name]
+            if expect_findings and not found:
+                failures.append(
+                    "%s: bad fixture produced no finding (check is dead)" %
+                    name)
+            elif not expect_findings and found:
+                failures.append("%s: good fixture produced findings:\n  %s" %
+                                (name, "\n  ".join(str(f) for f in found)))
+    if failures:
+        print("lint fixture self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("lint fixture self-test OK: %d checks x {bad,good} fixtures" %
+          len(CHECKS))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="tree to lint (default: the repo containing this "
+                         "script)")
+    ap.add_argument("--list-checks", action="store_true",
+                    help="print 'name: description' for every check")
+    ap.add_argument("--test-fixtures", action="store_true",
+                    help="self-test every check against its fixtures")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    root = os.path.abspath(args.root) if args.root else repo_root
+
+    if args.list_checks:
+        for name, desc, _fn in CHECKS:
+            print("%s: %s" % (name, desc))
+        return 0
+    if args.test_fixtures:
+        return run_fixture_tests(repo_root)
+
+    findings = run_checks(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print("nncell_lint: %d finding(s) across %d check(s)" %
+              (len(findings), len({f.check for f in findings})))
+        return 1
+    print("nncell_lint OK: %d checks, no findings" % len(CHECKS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
