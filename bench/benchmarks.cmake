@@ -34,6 +34,12 @@ nncell_add_fig(extension_parallel)
 nncell_add_fig(bench_regress)
 target_link_libraries(model_vs_measured PRIVATE nncell_model)
 
+add_executable(loadgen ${CMAKE_SOURCE_DIR}/bench/loadgen.cc)
+target_include_directories(loadgen PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(loadgen PRIVATE nncell_server_lib)
+set_target_properties(loadgen PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${NNCELL_BENCH_BINDIR})
+
 foreach(micro micro_lp micro_trees micro_metrics micro_persistence)
   add_executable(${micro} ${CMAKE_SOURCE_DIR}/bench/${micro}.cc)
   target_include_directories(${micro} PRIVATE ${CMAKE_SOURCE_DIR})

@@ -75,6 +75,19 @@ inline constexpr char kQueryFallbacks[] = "query.nn.fallbacks";
 inline constexpr char kQueryCandidatesPerQuery[] =
     "query.nn.candidates_per_query";
 
+// --- server (always-on query service) -------------------------------------
+inline constexpr char kServerConnectionsOpened[] = "server.connections.opened";
+inline constexpr char kServerConnectionsClosed[] = "server.connections.closed";
+inline constexpr char kServerRequestsAccepted[] = "server.requests.accepted";
+inline constexpr char kServerRequestsCompleted[] = "server.requests.completed";
+inline constexpr char kServerRequestsRejected[] = "server.requests.rejected";
+inline constexpr char kServerFramesMalformed[] = "server.frames.malformed";
+inline constexpr char kServerBatchesDispatched[] = "server.batches.dispatched";
+inline constexpr char kServerBatchSize[] = "server.batch.size";
+inline constexpr char kServerQueueDepth[] = "server.queue.depth";
+inline constexpr char kServerLatencyQueryUs[] = "server.latency.query_us";
+inline constexpr char kServerLatencyWriteUs[] = "server.latency.write_us";
+
 // The registry registers exactly this set at construction, so a snapshot
 // always covers every metric (zeros included) and is deterministic.
 inline constexpr MetricDef kMetricDefs[] = {
@@ -151,6 +164,28 @@ inline constexpr MetricDef kMetricDefs[] = {
      "queries that fell back to a sequential scan (numeric edge)"},
     {kQueryCandidatesPerQuery, Kind::kHistogram, "candidates",
      "distribution of the candidate-set size per NN query"},
+    {kServerConnectionsOpened, Kind::kCounter, "connections",
+     "client connections accepted by the query server"},
+    {kServerConnectionsClosed, Kind::kCounter, "connections",
+     "client connections whose reader exited (EOF, fault, or drain)"},
+    {kServerRequestsAccepted, Kind::kCounter, "requests",
+     "well-formed request frames admitted or rejected with a status"},
+    {kServerRequestsCompleted, Kind::kCounter, "requests",
+     "requests executed and answered by the dispatcher"},
+    {kServerRequestsRejected, Kind::kCounter, "requests",
+     "requests refused with RETRY_LATER or SHUTTING_DOWN"},
+    {kServerFramesMalformed, Kind::kCounter, "frames",
+     "frames dropped for bad magic/version/CRC/length/type"},
+    {kServerBatchesDispatched, Kind::kCounter, "batches",
+     "QueryBatch calls issued by the dispatcher micro-batcher"},
+    {kServerBatchSize, Kind::kHistogram, "queries",
+     "distribution of queries coalesced per dispatched batch"},
+    {kServerQueueDepth, Kind::kGauge, "requests",
+     "requests currently waiting in the admission queue"},
+    {kServerLatencyQueryUs, Kind::kHistogram, "microseconds",
+     "enqueue-to-response latency of QUERY/QUERY_BATCH requests"},
+    {kServerLatencyWriteUs, Kind::kHistogram, "microseconds",
+     "enqueue-to-response latency of INSERT/DELETE/CHECKPOINT requests"},
 };
 
 inline constexpr size_t kNumMetricDefs =

@@ -1,0 +1,169 @@
+#include "server/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "server/protocol.h"
+#include "server/socket_io.h"
+
+namespace nncell {
+namespace server {
+
+namespace {
+
+Status MapWireStatus(uint8_t status, const std::string& message) {
+  switch (status) {
+    case kStatusOk:
+      return Status::OK();
+    case kStatusRetryLater:
+      return Status::ResourceExhausted("server: " + message);
+    case kStatusShuttingDown:
+      return Status::FailedPrecondition("server: " + message);
+    case kStatusMalformed:
+      return Status::InvalidArgument("server: " + message);
+    default:
+      return Status::Internal("server: " + message);
+  }
+}
+
+}  // namespace
+
+StatusOr<Client> Client::ConnectUnix(const std::string& path) {
+  auto fd = server::ConnectUnix(path);
+  if (!fd.ok()) return fd.status();
+  return Client(*fd);
+}
+
+StatusOr<Client> Client::ConnectTcp(int port) {
+  auto fd = server::ConnectTcp(port);
+  if (!fd.ok()) return fd.status();
+  return Client(*fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  return WriteFull(fd_, bytes);
+}
+
+Status Client::RecvFrame(FrameHeader* header, std::string* payload) {
+  uint8_t header_buf[kFrameHeaderBytes];
+  NNCELL_RETURN_IF_ERROR(ReadFull(fd_, header_buf, sizeof(header_buf)));
+  NNCELL_RETURN_IF_ERROR(
+      DecodeFrameHeader(header_buf, sizeof(header_buf), header));
+  payload->assign(header->payload_len, '\0');
+  if (header->payload_len > 0) {
+    NNCELL_RETURN_IF_ERROR(ReadFull(fd_, payload->data(), payload->size()));
+  }
+  return VerifyPayloadCrc(*header, *payload);
+}
+
+Status Client::Call(uint8_t type, std::string_view payload,
+                    FrameHeader* resp_header, std::string* resp_payload) {
+  const uint64_t request_id = next_request_id_++;
+  std::string frame;
+  EncodeFrame(type, request_id, payload, &frame);
+  NNCELL_RETURN_IF_ERROR(WriteFull(fd_, frame));
+  NNCELL_RETURN_IF_ERROR(RecvFrame(resp_header, resp_payload));
+  if (resp_header->request_id != request_id) {
+    return Status::Internal(
+        "response id mismatch: sent " + std::to_string(request_id) +
+        ", got " + std::to_string(resp_header->request_id));
+  }
+  return Status::OK();
+}
+
+Status Client::Roundtrip(uint8_t type, std::string_view payload,
+                         std::string* resp_payload, std::string_view* body) {
+  FrameHeader resp_header;
+  NNCELL_RETURN_IF_ERROR(Call(type, payload, &resp_header, resp_payload));
+  uint8_t status = 0;
+  std::string message;
+  NNCELL_RETURN_IF_ERROR(
+      DecodeStatusPayload(*resp_payload, &status, body, &message));
+  return MapWireStatus(status, message);
+}
+
+Status Client::Ping() {
+  std::string resp;
+  std::string_view body;
+  return Roundtrip(kReqPing, "", &resp, &body);
+}
+
+StatusOr<WireQueryResult> Client::Query(const std::vector<double>& point) {
+  std::string payload;
+  EncodePointPayload(point, &payload);
+  std::string resp;
+  std::string_view body;
+  NNCELL_RETURN_IF_ERROR(Roundtrip(kReqQuery, payload, &resp, &body));
+  WireQueryResult result;
+  NNCELL_RETURN_IF_ERROR(DecodeQueryResultBody(body, &result));
+  return result;
+}
+
+StatusOr<std::vector<WireQueryResult>> Client::QueryBatch(
+    const std::vector<std::vector<double>>& points) {
+  std::string payload;
+  EncodeBatchPayload(points, &payload);
+  std::string resp;
+  std::string_view body;
+  NNCELL_RETURN_IF_ERROR(Roundtrip(kReqQueryBatch, payload, &resp, &body));
+  std::vector<WireQueryResult> results;
+  NNCELL_RETURN_IF_ERROR(DecodeQueryBatchResultBody(body, &results));
+  return results;
+}
+
+StatusOr<uint64_t> Client::Insert(const std::vector<double>& point) {
+  std::string payload;
+  EncodePointPayload(point, &payload);
+  std::string resp;
+  std::string_view body;
+  NNCELL_RETURN_IF_ERROR(Roundtrip(kReqInsert, payload, &resp, &body));
+  uint64_t id = 0;
+  NNCELL_RETURN_IF_ERROR(DecodeInsertResultBody(body, &id));
+  return id;
+}
+
+Status Client::Delete(uint64_t id) {
+  std::string payload;
+  EncodeDeletePayload(id, &payload);
+  std::string resp;
+  std::string_view body;
+  return Roundtrip(kReqDelete, payload, &resp, &body);
+}
+
+StatusOr<std::string> Client::StatsJson() {
+  std::string resp;
+  std::string_view body;
+  NNCELL_RETURN_IF_ERROR(Roundtrip(kReqStatsJson, "", &resp, &body));
+  std::string json;
+  NNCELL_RETURN_IF_ERROR(DecodeStatsBody(body, &json));
+  return json;
+}
+
+Status Client::Checkpoint() {
+  std::string resp;
+  std::string_view body;
+  return Roundtrip(kReqCheckpoint, "", &resp, &body);
+}
+
+}  // namespace server
+}  // namespace nncell

@@ -1,0 +1,76 @@
+#ifndef NNCELL_SERVER_CLIENT_H_
+#define NNCELL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "server/frame.h"
+
+namespace nncell {
+namespace server {
+
+// Blocking single-connection client for the nncell_server wire protocol.
+// One request in flight at a time: every call sends a frame and waits for
+// the matching response (the server answers each connection's requests in
+// arrival order, so request_id mismatches indicate a protocol bug and are
+// reported as Internal).
+//
+// Wire status codes map onto Status as follows (callers that must react to
+// backpressure distinguish by code):
+//   RETRY_LATER   -> ResourceExhausted
+//   SHUTTING_DOWN -> FailedPrecondition
+//   MALFORMED     -> InvalidArgument
+//   ERROR         -> Internal
+class Client {
+ public:
+  static StatusOr<Client> ConnectUnix(const std::string& path);
+  static StatusOr<Client> ConnectTcp(int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  Status Ping();
+  StatusOr<WireQueryResult> Query(const std::vector<double>& point);
+  StatusOr<std::vector<WireQueryResult>> QueryBatch(
+      const std::vector<std::vector<double>>& points);
+  StatusOr<uint64_t> Insert(const std::vector<double>& point);
+  Status Delete(uint64_t id);
+  StatusOr<std::string> StatsJson();
+  Status Checkpoint();
+
+  // One raw round trip: sends `payload` framed as `type`, receives one
+  // frame, returns its decoded header fields and payload. Exposed for the
+  // protocol tests; the typed calls above are built on it.
+  Status Call(uint8_t type, std::string_view payload, FrameHeader* resp_header,
+              std::string* resp_payload);
+
+  // Sends raw bytes with no framing (fuzz tests feed garbage through this).
+  Status SendRaw(std::string_view bytes);
+  // Receives one frame; validates header + CRC.
+  Status RecvFrame(FrameHeader* header, std::string* payload);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  // Full round trip for a request expecting a status-prefixed response:
+  // non-OK wire status comes back as the mapped Status, OK leaves the body
+  // (payload after the status byte) in `*body` backed by `*resp_payload`.
+  Status Roundtrip(uint8_t type, std::string_view payload,
+                   std::string* resp_payload, std::string_view* body);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace server
+}  // namespace nncell
+
+#endif  // NNCELL_SERVER_CLIENT_H_

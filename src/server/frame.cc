@@ -1,0 +1,275 @@
+#include "server/frame.h"
+
+#include "common/crc32c.h"
+#include "storage/wire.h"
+
+namespace nncell {
+namespace server {
+
+namespace {
+
+const uint8_t* Bytes(std::string_view s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+}  // namespace
+
+void EncodeFrame(uint8_t type, uint64_t request_id, std::string_view payload,
+                 std::string* out) {
+  wire::PutU32(out, kFrameMagic);
+  wire::PutU8(out, static_cast<uint8_t>(kProtocolVersion));
+  wire::PutU8(out, type);
+  wire::PutRaw<uint16_t>(out, 0);  // reserved
+  wire::PutU64(out, request_id);
+  wire::PutU32(out, static_cast<uint32_t>(payload.size()));
+  wire::PutU32(out, Crc32c(payload.data(), payload.size()));
+  wire::PutBytes(out, payload.data(), payload.size());
+}
+
+Status DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header: short buffer");
+  }
+  wire::Reader r(data, size);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint16_t reserved = 0;
+  if (!r.GetU32(&magic) || !r.GetU8(&version) || !r.GetU8(&out->type) ||
+      !r.Get(&reserved) || !r.GetU64(&out->request_id) ||
+      !r.GetU32(&out->payload_len) || !r.GetU32(&out->payload_crc)) {
+    return Status::InvalidArgument("frame header: short buffer");
+  }
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("frame header: bad magic");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("frame header: unsupported version " +
+                                   std::to_string(version));
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("frame header: nonzero reserved bits");
+  }
+  if (out->payload_len > kFrameMaxPayload) {
+    return Status::InvalidArgument("frame header: payload length " +
+                                   std::to_string(out->payload_len) +
+                                   " exceeds max " +
+                                   std::to_string(kFrameMaxPayload));
+  }
+  return Status::OK();
+}
+
+Status VerifyPayloadCrc(const FrameHeader& header, std::string_view payload) {
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  if (crc != header.payload_crc) {
+    return Status::InvalidArgument("frame payload: crc mismatch");
+  }
+  return Status::OK();
+}
+
+// --- request payloads -----------------------------------------------------
+
+void EncodePointPayload(const std::vector<double>& point, std::string* out) {
+  wire::PutU32(out, static_cast<uint32_t>(point.size()));
+  for (double v : point) wire::PutF64(out, v);
+}
+
+Status DecodePointPayload(std::string_view payload, std::vector<double>* out) {
+  wire::Reader r(Bytes(payload), payload.size());
+  uint32_t dim = 0;
+  if (!r.GetU32(&dim)) return Status::InvalidArgument("point: truncated");
+  if (dim == 0 || dim > kMaxPointDim) {
+    return Status::InvalidArgument("point: bad dimension " +
+                                   std::to_string(dim));
+  }
+  if (r.remaining() != dim * sizeof(double)) {
+    return Status::InvalidArgument("point: payload size mismatch");
+  }
+  out->assign(dim, 0.0);
+  for (double& v : *out) {
+    if (!r.GetF64(&v)) return Status::InvalidArgument("point: truncated");
+  }
+  return Status::OK();
+}
+
+void EncodeBatchPayload(const std::vector<std::vector<double>>& points,
+                        std::string* out) {
+  wire::PutU32(out, static_cast<uint32_t>(points.size()));
+  wire::PutU32(out,
+               static_cast<uint32_t>(points.empty() ? 0 : points[0].size()));
+  for (const auto& p : points) {
+    for (double v : p) wire::PutF64(out, v);
+  }
+}
+
+Status DecodeBatchPayload(std::string_view payload, size_t* dim,
+                          std::vector<double>* flat, size_t* count) {
+  wire::Reader r(Bytes(payload), payload.size());
+  uint32_t n = 0;
+  uint32_t d = 0;
+  if (!r.GetU32(&n) || !r.GetU32(&d)) {
+    return Status::InvalidArgument("batch: truncated");
+  }
+  if (n == 0 || n > kMaxBatchQueries) {
+    return Status::InvalidArgument("batch: bad count " + std::to_string(n));
+  }
+  if (d == 0 || d > kMaxPointDim) {
+    return Status::InvalidArgument("batch: bad dimension " +
+                                   std::to_string(d));
+  }
+  if (r.remaining() != static_cast<size_t>(n) * d * sizeof(double)) {
+    return Status::InvalidArgument("batch: payload size mismatch");
+  }
+  flat->assign(static_cast<size_t>(n) * d, 0.0);
+  for (double& v : *flat) {
+    if (!r.GetF64(&v)) return Status::InvalidArgument("batch: truncated");
+  }
+  *dim = d;
+  *count = n;
+  return Status::OK();
+}
+
+void EncodeDeletePayload(uint64_t id, std::string* out) {
+  wire::PutU64(out, id);
+}
+
+Status DecodeDeletePayload(std::string_view payload, uint64_t* id) {
+  wire::Reader r(Bytes(payload), payload.size());
+  if (!r.GetU64(id) || r.remaining() != 0) {
+    return Status::InvalidArgument("delete: payload size mismatch");
+  }
+  return Status::OK();
+}
+
+// --- response payloads ----------------------------------------------------
+
+void EncodeStatusPayload(uint8_t status, std::string_view message,
+                         std::string* out) {
+  wire::PutU8(out, status);
+  if (status != kStatusOk) {
+    wire::PutU32(out, static_cast<uint32_t>(message.size()));
+    wire::PutBytes(out, message.data(), message.size());
+  }
+}
+
+namespace {
+
+void AppendQueryResult(const WireQueryResult& r, std::string* out) {
+  wire::PutU64(out, r.id);
+  wire::PutF64(out, r.dist);
+  wire::PutU32(out, r.candidates);
+  wire::PutU8(out, r.used_fallback);
+  wire::PutU32(out, static_cast<uint32_t>(r.point.size()));
+  for (double v : r.point) wire::PutF64(out, v);
+}
+
+Status ReadQueryResult(wire::Reader* r, WireQueryResult* out) {
+  uint32_t dim = 0;
+  if (!r->GetU64(&out->id) || !r->GetF64(&out->dist) ||
+      !r->GetU32(&out->candidates) || !r->GetU8(&out->used_fallback) ||
+      !r->GetU32(&dim)) {
+    return Status::InvalidArgument("query result: truncated");
+  }
+  if (dim > kMaxPointDim) {
+    return Status::InvalidArgument("query result: bad dimension");
+  }
+  out->point.assign(dim, 0.0);
+  for (double& v : out->point) {
+    if (!r->GetF64(&v)) {
+      return Status::InvalidArgument("query result: truncated");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeQueryResultPayload(const WireQueryResult& r, std::string* out) {
+  EncodeStatusPayload(kStatusOk, "", out);
+  AppendQueryResult(r, out);
+}
+
+void EncodeQueryBatchResultPayload(const std::vector<WireQueryResult>& rs,
+                                   std::string* out) {
+  EncodeStatusPayload(kStatusOk, "", out);
+  wire::PutU32(out, static_cast<uint32_t>(rs.size()));
+  for (const WireQueryResult& r : rs) AppendQueryResult(r, out);
+}
+
+void EncodeInsertResultPayload(uint64_t id, std::string* out) {
+  EncodeStatusPayload(kStatusOk, "", out);
+  wire::PutU64(out, id);
+}
+
+void EncodeStatsPayload(std::string_view json, std::string* out) {
+  EncodeStatusPayload(kStatusOk, "", out);
+  wire::PutU32(out, static_cast<uint32_t>(json.size()));
+  wire::PutBytes(out, json.data(), json.size());
+}
+
+Status DecodeStatusPayload(std::string_view payload, uint8_t* status,
+                           std::string_view* body, std::string* message) {
+  wire::Reader r(Bytes(payload), payload.size());
+  if (!r.GetU8(status)) {
+    return Status::InvalidArgument("response: empty payload");
+  }
+  message->clear();
+  if (*status != kStatusOk) {
+    uint32_t len = 0;
+    if (!r.GetU32(&len) || r.remaining() != len) {
+      return Status::InvalidArgument("response: bad error message");
+    }
+    message->assign(reinterpret_cast<const char*>(r.cur()), len);
+    *body = std::string_view();
+    return Status::OK();
+  }
+  *body = payload.substr(r.pos());
+  return Status::OK();
+}
+
+Status DecodeQueryResultBody(std::string_view body, WireQueryResult* out) {
+  wire::Reader r(Bytes(body), body.size());
+  NNCELL_RETURN_IF_ERROR(ReadQueryResult(&r, out));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("query result: trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeQueryBatchResultBody(std::string_view body,
+                                  std::vector<WireQueryResult>* out) {
+  wire::Reader r(Bytes(body), body.size());
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return Status::InvalidArgument("batch result: truncated");
+  if (n > kMaxBatchQueries) {
+    return Status::InvalidArgument("batch result: bad count");
+  }
+  out->assign(n, WireQueryResult());
+  for (WireQueryResult& qr : *out) {
+    NNCELL_RETURN_IF_ERROR(ReadQueryResult(&r, &qr));
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("batch result: trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeInsertResultBody(std::string_view body, uint64_t* id) {
+  wire::Reader r(Bytes(body), body.size());
+  if (!r.GetU64(id) || r.remaining() != 0) {
+    return Status::InvalidArgument("insert result: payload size mismatch");
+  }
+  return Status::OK();
+}
+
+Status DecodeStatsBody(std::string_view body, std::string* json) {
+  wire::Reader r(Bytes(body), body.size());
+  uint32_t len = 0;
+  if (!r.GetU32(&len) || r.remaining() != len) {
+    return Status::InvalidArgument("stats result: payload size mismatch");
+  }
+  json->assign(reinterpret_cast<const char*>(r.cur()), len);
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace nncell

@@ -1,0 +1,72 @@
+#ifndef NNCELL_SERVER_PROTOCOL_H_
+#define NNCELL_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Single source of truth for every constant of the query-service wire
+// protocol: the frame header, the request/response type codes and the
+// response status codes. docs/SERVING.md documents the byte-level layout,
+// and tools/check_docs_links.sh cross-checks every constant name and value
+// in this header against that document in both directions, so the wire
+// documentation cannot drift from the code (same contract as
+// storage/durable_format.h <-> docs/PERSISTENCE.md).
+//
+// The magic spells an ASCII tag when the u32 is read big-endian (on the
+// wire, little-endian, the bytes appear reversed).
+
+namespace nncell {
+namespace server {
+
+// --- frame header ---------------------------------------------------------
+// Every message in either direction is one frame:
+//
+//   u32 magic  u8 version  u8 type  u16 reserved(=0)
+//   u64 request_id  u32 payload_len  u32 payload_crc
+//
+// followed by payload_len payload bytes whose CRC32C is payload_crc. All
+// integers little-endian. request_id is chosen by the client and echoed
+// verbatim in the response frame.
+inline constexpr uint32_t kFrameMagic = 0x4e4e4346;  // "NNCF"
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+// Sanity bound on one frame's payload; a parsed length above this is a
+// malformed frame (and closes the connection), not a huge request.
+inline constexpr uint32_t kFrameMaxPayload = 4194304;
+
+// --- request types (frame `type` byte, client -> server) ------------------
+inline constexpr uint8_t kReqPing = 1;
+inline constexpr uint8_t kReqQuery = 2;
+inline constexpr uint8_t kReqQueryBatch = 3;
+inline constexpr uint8_t kReqInsert = 4;
+inline constexpr uint8_t kReqDelete = 5;
+inline constexpr uint8_t kReqStatsJson = 6;
+inline constexpr uint8_t kReqCheckpoint = 7;
+
+// A response frame's type is the request type with the response bit set;
+// a malformed frame whose request type could not be read is answered with
+// type kRespBit alone.
+inline constexpr uint8_t kRespBit = 128;
+
+// --- response status (first payload byte of every response) ---------------
+inline constexpr uint8_t kStatusOk = 0;
+// Admission queue full: the request was not executed; retry after backoff.
+inline constexpr uint8_t kStatusRetryLater = 1;
+// The request frame failed validation (bad CRC, bad payload, bad type).
+inline constexpr uint8_t kStatusMalformed = 2;
+// The server is draining and no longer admits new requests.
+inline constexpr uint8_t kStatusShuttingDown = 3;
+// The operation itself failed (duplicate insert, dead id, non-durable
+// checkpoint, ...); an error message follows.
+inline constexpr uint8_t kStatusError = 4;
+
+// --- payload bounds -------------------------------------------------------
+// Queries/points above this dimensionality are rejected as malformed.
+inline constexpr uint32_t kMaxPointDim = 4096;
+// Max queries in one QUERY_BATCH frame.
+inline constexpr uint32_t kMaxBatchQueries = 1024;
+
+}  // namespace server
+}  // namespace nncell
+
+#endif  // NNCELL_SERVER_PROTOCOL_H_

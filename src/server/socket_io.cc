@@ -1,0 +1,172 @@
+#include "server/socket_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "storage/fs_util.h"
+
+namespace nncell {
+namespace server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(fs::ErrnoMessage(what));
+}
+
+}  // namespace
+
+Status ReadFull(int fd, void* buf, size_t n) {
+  failpoint::Action fault = failpoint::Check("server.socket.read");
+  if (fault == failpoint::Action::kError) {
+    return Status::Internal("server.socket.read: injected read error");
+  }
+  if (fault == failpoint::Action::kCrash) failpoint::Crash();
+  size_t limit = n;
+  if (fault == failpoint::Action::kShortWrite) limit = n / 2;
+
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  while (got < limit) {
+    ssize_t r = ::read(fd, p + got, limit - got);
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::Internal("truncated read (" + std::to_string(got) +
+                              " of " + std::to_string(n) + " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    got += static_cast<size_t>(r);
+  }
+  if (fault == failpoint::Action::kShortWrite) {
+    return Status::Internal("server.socket.read: injected short read (" +
+                            std::to_string(limit) + " of " +
+                            std::to_string(n) + " bytes)");
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, std::string_view bytes) {
+  failpoint::Action fault = failpoint::Check("server.socket.write");
+  if (fault == failpoint::Action::kError) {
+    return Status::Internal("server.socket.write: injected write error");
+  }
+  if (fault == failpoint::Action::kCrash) failpoint::Crash();
+  size_t limit = bytes.size();
+  if (fault == failpoint::Action::kShortWrite) limit = bytes.size() / 2;
+
+  size_t written = 0;
+  while (written < limit) {
+    // MSG_NOSIGNAL: a vanished peer is a Status (EPIPE), never SIGPIPE.
+    ssize_t w = ::send(fd, bytes.data() + written, limit - written,
+                       MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    written += static_cast<size_t>(w);
+  }
+  if (fault == failpoint::Action::kShortWrite) {
+    return Status::Internal("server.socket.write: injected short write (" +
+                            std::to_string(limit) + " of " +
+                            std::to_string(bytes.size()) + " bytes)");
+  }
+  return Status::OK();
+}
+
+StatusOr<int> ListenUnix(const std::string& path, int backlog) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  ::unlink(path.c_str());  // a stale socket file from a dead server
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Errno("bind " + path);
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Errno("listen " + path);
+  }
+  return fd;
+}
+
+StatusOr<int> ListenTcp(int port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Errno("listen :" + std::to_string(port));
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return Errno("connect " + path);
+  }
+}
+
+StatusOr<int> ConnectTcp(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return Errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+}
+
+}  // namespace server
+}  // namespace nncell

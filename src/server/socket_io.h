@@ -1,0 +1,51 @@
+#ifndef NNCELL_SERVER_SOCKET_IO_H_
+#define NNCELL_SERVER_SOCKET_IO_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace nncell {
+namespace server {
+
+// Socket helpers shared by the server and the client. Both transfer
+// directions loop over EINTR and short reads/writes (a signal landing
+// mid-transfer -- SIGTERM during drain in particular -- must never tear a
+// frame), and writes use send(MSG_NOSIGNAL) so a peer that vanished
+// surfaces as a Status instead of SIGPIPE. The same audit was applied to
+// the fs helpers in storage/fs_util.cc: WriteAllFd and ReadFileToString
+// already loop over EINTR and partial transfers.
+//
+// Failpoints (tested by ServerFailpointTest, listed in docs/SERVING.md):
+//   server.socket.read   -- kError fails before reading; kShortWrite reads
+//                           half the requested bytes, then fails (a peer
+//                           that died mid-frame).
+//   server.socket.write  -- kError fails before writing; kShortWrite
+//                           writes half the bytes, then fails (connection
+//                           reset mid-response).
+
+// Reads exactly `n` bytes. Returns NotFound("connection closed") when the
+// peer closed cleanly before the first byte, Internal on mid-buffer EOF
+// ("truncated read") or socket errors.
+Status ReadFull(int fd, void* buf, size_t n);
+
+// Writes all of `bytes`, looping over partial sends.
+Status WriteFull(int fd, std::string_view bytes);
+
+// --- connection setup -----------------------------------------------------
+
+// Binds + listens on a unix-domain socket at `path` (unlinking a stale
+// socket file first) / on 127.0.0.1:`port`. Returns the listening fd.
+StatusOr<int> ListenUnix(const std::string& path, int backlog);
+StatusOr<int> ListenTcp(int port, int backlog);
+
+// Connects to a unix-domain socket / to 127.0.0.1:`port`.
+StatusOr<int> ConnectUnix(const std::string& path);
+StatusOr<int> ConnectTcp(int port);
+
+}  // namespace server
+}  // namespace nncell
+
+#endif  // NNCELL_SERVER_SOCKET_IO_H_

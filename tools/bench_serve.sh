@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Serving bench harness: nncell_server + bench/loadgen, gated by
+# BENCH_serve.json.
+#
+#   tools/bench_serve.sh [--quick] [--update] [--build-dir DIR]
+#
+# Starts a fresh server on a scratch durable index and runs two scenarios:
+#
+#   det  -- 1 connection, fixed op count, fixed seed. The response stream
+#           is deterministic, so the integer checksum and per-type counts
+#           gate EXACTLY against the committed baseline.
+#   load -- 4 connections, closed loop (saturation). Only invariants gate:
+#           zero errors, zero malformed frames, conservation. Skipped by
+#           --quick. Wall-clock numbers are reported, never gated.
+#
+# After the scenarios the server is drained with SIGTERM and its DRAINED
+# counters feed the conservation check (accepted == completed + rejected).
+# --update rewrites BENCH_serve.json from a full run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+UPDATE=0
+BUILD_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --update) UPDATE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    *) echo "usage: $0 [--quick] [--update] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for d in build-dev build; do
+    if [[ -d "$d" ]]; then BUILD_DIR="$d"; break; fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -d "$BUILD_DIR" ]]; then
+  echo "no build directory found (configure with: cmake --preset dev)" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target nncell_server loadgen
+
+SCRATCH=$(mktemp -d)
+SOCK="$SCRATCH/serve.sock"
+SRV_LOG="$SCRATCH/server.log"
+SRV_PID=""
+cleanup() {
+  if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill -KILL "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+"$BUILD_DIR/tools/nncell_server" "$SCRATCH/index" --socket="$SOCK" --dim=4 \
+  >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 100); do
+  [[ -S "$SOCK" ]] && grep -q READY "$SRV_LOG" && break
+  sleep 0.1
+done
+if ! grep -q READY "$SRV_LOG"; then
+  echo "server failed to start:" >&2
+  cat "$SRV_LOG" >&2
+  exit 1
+fi
+
+LOADGEN="$BUILD_DIR/bench/loadgen"
+
+# det: identical parameters in quick and full mode -- the committed
+# checksum must match byte-for-byte either way.
+DET_JSON=$("$LOADGEN" --socket="$SOCK" --connections=1 --ops=400 \
+  --preload=100 --mix=90:8:2 --zipf=0.99 --seed=7 --label=det)
+
+LOAD_JSON=""
+if [[ "$QUICK" == 0 ]]; then
+  LOAD_JSON=$("$LOADGEN" --socket="$SOCK" --connections=4 --ops=2000 \
+    --preload=100 --mix=80:15:5 --zipf=0.99 --seed=11 --label=load)
+fi
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=""
+DRAINED=$(grep DRAINED "$SRV_LOG")
+ACCEPTED=$(sed -nE 's/.*accepted=([0-9]+).*/\1/p' <<<"$DRAINED")
+COMPLETED=$(sed -nE 's/.*completed=([0-9]+).*/\1/p' <<<"$DRAINED")
+REJECTED=$(sed -nE 's/.*rejected=([0-9]+).*/\1/p' <<<"$DRAINED")
+MALFORMED=$(sed -nE 's/.*malformed=([0-9]+).*/\1/p' <<<"$DRAINED")
+CONSERVED=false
+if [[ $((COMPLETED + REJECTED)) -eq "$ACCEPTED" ]]; then CONSERVED=true; fi
+
+OUT="$BUILD_DIR/bench_serve_current.json"
+{
+  echo '{"scenarios":['
+  echo -n "$DET_JSON"
+  if [[ -n "$LOAD_JSON" ]]; then
+    echo ','
+    echo -n "$LOAD_JSON"
+  fi
+  echo '],'
+  echo "\"server\":{\"accepted\":$ACCEPTED,\"completed\":$COMPLETED,\"conservation_ok\":$CONSERVED,\"malformed\":$MALFORMED,\"rejected\":$REJECTED}}"
+} >"$OUT"
+
+if [[ "$UPDATE" == 1 ]]; then
+  if [[ "$QUICK" == 1 ]]; then
+    echo "--update requires a full run (the baseline carries both scenarios)" >&2
+    exit 2
+  fi
+  python3 -c 'import json,sys; doc=json.load(open(sys.argv[1])); json.dump(doc, open(sys.argv[1],"w"), indent=1, sort_keys=True)' "$OUT"
+  cp "$OUT" BENCH_serve.json
+  echo "BENCH_serve.json updated"
+  exit 0
+fi
+
+python3 tools/bench_serve_diff.py BENCH_serve.json "$OUT"

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate a bench_serve run against the committed BENCH_serve.json baseline.
+
+The det scenario (1 connection, fixed seed) is deterministic end to end,
+so its integer results gate exactly: the query-response checksum and the
+per-type op counts must equal the committed values, and every op must
+succeed (ok == sent, errors == rejected == 0).
+
+The load scenario (concurrent connections) is nondeterministic by nature;
+only invariants gate: zero errors and a positive completed-op count.
+Wall-clock fields (latency percentiles, throughput) never gate -- they are
+reported for humans.
+
+The server block gates on conservation (accepted == completed + rejected)
+and zero malformed frames.
+
+Exits 0 when everything passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def scenarios(doc):
+    return {s["label"]: s["results"] for s in doc["scenarios"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} BENCH_serve.json current.json",
+              file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        committed = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    ref = scenarios(committed)
+    cur = scenarios(current)
+    failures = []
+
+    det = cur.get("det")
+    if det is None:
+        failures.append("det scenario missing from current run")
+    else:
+        ref_det = ref["det"]
+        for key in ("checksum", "queries", "inserts", "deletes", "sent"):
+            if det[key] != ref_det[key]:
+                failures.append(
+                    f"det: {key} = {det[key]}, baseline {ref_det[key]}")
+        if det["ok"] != det["sent"]:
+            failures.append(f"det: ok {det['ok']} != sent {det['sent']}")
+        for key in ("errors", "rejected"):
+            if det[key] != 0:
+                failures.append(f"det: {key} = {det[key]}, want 0")
+        print(f"  det: checksum {det['checksum']} ok, "
+              f"{det['ok']}/{det['sent']} ops, "
+              f"p99 {det['latency_us']['p99']}us (not gated)")
+
+    load = cur.get("load")
+    if load is None:
+        print("  load: not in current run, skipped (quick mode)")
+    else:
+        if load["errors"] != 0:
+            failures.append(f"load: errors = {load['errors']}, want 0")
+        if load["ok"] == 0:
+            failures.append("load: no ops completed")
+        print(f"  load: {load['ok']}/{load['sent']} ops, "
+              f"{load['rejected']} rejected (backpressure), "
+              f"{load['throughput_ops_s']:.0f} ops/s, "
+              f"p99 {load['latency_us']['p99']}us (not gated)")
+
+    server = current["server"]
+    if not server["conservation_ok"]:
+        failures.append(
+            f"server: conservation violated: accepted {server['accepted']} "
+            f"!= completed {server['completed']} + rejected "
+            f"{server['rejected']}")
+    if server["malformed"] != 0:
+        failures.append(f"server: malformed = {server['malformed']}, want 0")
+    print(f"  server: accepted {server['accepted']} = "
+          f"completed {server['completed']} + rejected {server['rejected']}, "
+          f"malformed {server['malformed']}")
+
+    if failures:
+        print("FAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("serving bench gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

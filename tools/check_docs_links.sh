@@ -11,7 +11,11 @@
 #     every on-disk format constant (magic, version, size, op code, file
 #     name) is documented with its exact value, and every constant the
 #     document names still exists in the persistence-layer headers.
-#  4. docs/STATIC_ANALYSIS.md's lint-check table and
+#  4. docs/SERVING.md and src/server/protocol.h must agree the same way
+#     PERSISTENCE.md does with durable_format.h: every wire-protocol
+#     constant is documented with its exact value, and every constant the
+#     document names still exists.
+#  5. docs/STATIC_ANALYSIS.md's lint-check table and
 #     `tools/nncell_lint.py --list-checks` must agree exactly: every
 #     registered check is documented and every documented check exists.
 #
@@ -146,7 +150,48 @@ for c in $doc_consts; do
   fi
 done
 
-# --- 4. STATIC_ANALYSIS.md <-> nncell_lint.py ------------------------------
+# --- 4. SERVING.md <-> protocol.h ------------------------------------------
+
+wire_header="src/server/protocol.h"
+wire_doc="docs/SERVING.md"
+
+for required in "$wire_header" "$wire_doc"; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING FILE: $required"
+    exit 1
+  fi
+done
+
+# Forward: every `kName = value` constant in the protocol header must
+# appear in the document with its exact value.
+wire_doc_flat=$(tr -d '`' < "$wire_doc")
+n_wire_consts=0
+while read -r name value; do
+  [ -z "$name" ] && continue
+  n_wire_consts=$((n_wire_consts + 1))
+  value=$(printf '%s' "$value" | sed -E 's/U?L?L?$//')
+  if ! printf '%s' "$wire_doc_flat" | grep -qF "$name = $value"; then
+    echo "WIRE CONSTANT DRIFT: $wire_doc must state \"$name = $value\"" \
+         "(from $wire_header)"
+    fail=1
+  fi
+done <<EOF
+$(sed -nE 's/^inline constexpr [A-Za-z0-9_]+ (k[A-Za-z0-9]+)(\[\])? = ([^;]+);.*/\1 \3/p' "$wire_header")
+EOF
+
+# Reverse: every backticked kConstant the document names must still be
+# defined in the protocol or failpoint headers.
+wire_doc_consts=$(grep -oE '`k[A-Z][A-Za-z0-9]*`' "$wire_doc" \
+                  | tr -d '`' | sort -u)
+for c in $wire_doc_consts; do
+  if ! grep -qE "\b$c\b" "$wire_header" "$fp_header"; then
+    echo "STALE DOC CONSTANT: $c (in $wire_doc, not defined in" \
+         "$wire_header or $fp_header)"
+    fail=1
+  fi
+done
+
+# --- 5. STATIC_ANALYSIS.md <-> nncell_lint.py ------------------------------
 
 lint_tool="tools/nncell_lint.py"
 sa_doc="docs/STATIC_ANALYSIS.md"
@@ -191,6 +236,7 @@ if [ "$fail" -eq 0 ]; then
   n_links=$(printf '%s\n' "$md_files" | wc -l | tr -d ' ')
   n_names=$(printf '%s\n' "$src_names" | wc -l | tr -d ' ')
   echo "docs check OK: $n_links markdown files, $n_names metrics," \
-       "$n_consts format constants, $n_lint_checks lint checks in sync"
+       "$n_consts format constants, $n_wire_consts wire constants," \
+       "$n_lint_checks lint checks in sync"
 fi
 exit "$fail"
