@@ -231,14 +231,14 @@ int main(int argc, char** argv) {
     cfg.qps = std::strtod(v, nullptr);
   }
   if (const char* v = FlagValue(argc, argv, "--mix")) {
-    if (std::sscanf(v, "%llu:%llu:%llu",
-                    reinterpret_cast<unsigned long long*>(&cfg.weight_query),
-                    reinterpret_cast<unsigned long long*>(&cfg.weight_insert),
-                    reinterpret_cast<unsigned long long*>(
-                        &cfg.weight_delete)) != 3) {
+    unsigned long long q = 0, ins = 0, del = 0;
+    if (std::sscanf(v, "%llu:%llu:%llu", &q, &ins, &del) != 3) {
       std::fprintf(stderr, "loadgen: bad --mix, want Q:I:D\n");
       return 2;
     }
+    cfg.weight_query = q;
+    cfg.weight_insert = ins;
+    cfg.weight_delete = del;
   }
   if (const char* v = FlagValue(argc, argv, "--preload")) {
     cfg.preload = std::strtoul(v, nullptr, 10);
@@ -285,6 +285,10 @@ int main(int argc, char** argv) {
   }
   if (cfg.connections == 0 || cfg.zipf_theta < 0 || cfg.zipf_theta >= 1) {
     std::fprintf(stderr, "loadgen: need connections >= 1, 0 <= zipf < 1\n");
+    return 2;
+  }
+  if (cfg.weight_query + cfg.weight_insert + cfg.weight_delete == 0) {
+    std::fprintf(stderr, "loadgen: --mix weights must not all be zero\n");
     return 2;
   }
 

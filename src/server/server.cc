@@ -18,9 +18,13 @@ namespace server {
 
 namespace {
 
-// Slow-consumer bound: a response write that cannot make progress for this
-// long marks the connection's write side dead instead of stalling the
-// dispatcher forever behind one stuck client.
+// Slow-consumer bound: a response frame that does not finish writing
+// within this long marks the connection's write side dead instead of
+// stalling the dispatcher forever behind one stuck client. Enforced two
+// ways: SO_SNDTIMEO bounds each blocking send(), and WriteFull is given
+// the same value as an overall per-frame deadline so a peer trickling a
+// byte every few seconds (keeping individual sends alive) is still cut
+// off.
 constexpr int kSendTimeoutSeconds = 30;
 
 bool IsQueryType(uint8_t type) {
@@ -105,7 +109,12 @@ Status NNCellServer::Stop() {
   {
     MutexLock lock(conns_mu_);
     for (auto& [id, conn] : conns_) ::shutdown(conn->fd, SHUT_RD);
-    readers.swap(reader_threads_);
+    for (auto& [id, t] : reader_threads_) readers.push_back(std::move(t));
+    reader_threads_.clear();
+    for (std::thread& t : finished_reader_threads_) {
+      readers.push_back(std::move(t));
+    }
+    finished_reader_threads_.clear();
   }
   for (std::thread& t : readers) t.join();
 
@@ -155,12 +164,20 @@ void NNCellServer::ListenerLoop(int listen_fd) {
 
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    std::vector<std::thread> finished;
     {
       MutexLock lock(conns_mu_);
       conn->id = next_conn_id_++;
       conns_[conn->id] = conn;
-      reader_threads_.emplace_back([this, conn] { ReaderLoop(conn); });
+      reader_threads_[conn->id] =
+          std::thread([this, conn] { ReaderLoop(conn); });
+      finished.swap(finished_reader_threads_);
     }
+    // Reap readers whose connections already closed. These threads have
+    // (at most) a few instructions left past handing off their handle, so
+    // the joins are effectively instant; doing them outside conns_mu_
+    // keeps an exiting reader's own lock acquisition deadlock-free.
+    for (std::thread& t : finished) t.join();
     NNCELL_METRIC_COUNT(m_conn_opened_, 1);
   }
 }
@@ -168,11 +185,20 @@ void NNCellServer::ListenerLoop(int listen_fd) {
 void NNCellServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   while (HandleOneFrame(conn)) {
   }
-  // Drop the map's reference; queued responses keep the connection alive
-  // until the dispatcher has written them, then the fd closes.
-  if (!draining_.load(std::memory_order_acquire)) {
+  {
     MutexLock lock(conns_mu_);
-    conns_.erase(conn->id);
+    // Drop the map's reference; queued responses keep the connection alive
+    // until the dispatcher has written them, then the fd closes.
+    if (!draining_.load(std::memory_order_acquire)) {
+      conns_.erase(conn->id);
+    }
+    // Hand our own thread handle to the listener for reaping. Absent means
+    // Stop() already claimed it and is (or will be) joining us.
+    auto it = reader_threads_.find(conn->id);
+    if (it != reader_threads_.end()) {
+      finished_reader_threads_.push_back(std::move(it->second));
+      reader_threads_.erase(it);
+    }
   }
   NNCELL_METRIC_COUNT(m_conn_closed_, 1);
 }
@@ -232,22 +258,29 @@ bool NNCellServer::HandleOneFrame(const std::shared_ptr<Connection>& conn) {
                   "server is draining");
     return false;
   }
+  bool admitted = false;
   {
     MutexLock lock(queue_mu_);
-    if (queue_.size() >= options_.max_queue) {
-      Count(rejected_, m_rejected_);
-      RespondStatus(conn, resp_type, header.request_id, kStatusRetryLater,
-                    "admission queue full");
-      return true;
+    if (queue_.size() < options_.max_queue) {
+      WorkItem item;
+      item.conn = conn;
+      item.type = header.type;
+      item.request_id = header.request_id;
+      item.payload = std::move(payload);
+      item.enqueued = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(item));
+      queue_cv_.NotifyOne();
+      admitted = true;
     }
-    WorkItem item;
-    item.conn = conn;
-    item.type = header.type;
-    item.request_id = header.request_id;
-    item.payload = std::move(payload);
-    item.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(item));
-    queue_cv_.NotifyOne();
+  }
+  // The rejection is written outside queue_mu_: RespondStatus can block on
+  // a slow consumer for up to the send timeout, and holding the queue lock
+  // across it would stall the dispatcher and every other reader.
+  if (!admitted) {
+    Count(rejected_, m_rejected_);
+    RespondStatus(conn, resp_type, header.request_id, kStatusRetryLater,
+                  "admission queue full");
+    return true;
   }
   NNCELL_METRIC_GAUGE_ADD(m_queue_depth_, 1);
   return true;
@@ -470,7 +503,7 @@ void NNCellServer::WriteFrame(const std::shared_ptr<Connection>& conn,
   EncodeFrame(type, request_id, payload, &frame);
   MutexLock lock(conn->write_mu);
   if (!conn->write_open) return;
-  Status st = WriteFull(conn->fd, frame);
+  Status st = WriteFull(conn->fd, frame, kSendTimeoutSeconds);
   if (!st.ok()) {
     // The peer is gone or stuck past the send timeout; every later
     // response to this connection is skipped.

@@ -161,7 +161,15 @@ class NNCellServer {
   mutable Mutex conns_mu_;
   std::map<uint64_t, std::shared_ptr<Connection>> conns_
       NNCELL_GUARDED_BY(conns_mu_);
-  std::vector<std::thread> reader_threads_ NNCELL_GUARDED_BY(conns_mu_);
+  // Live reader threads, keyed by connection id. An exiting reader moves
+  // its own handle into finished_reader_threads_, which the listener
+  // reaps (joins) on the next accept -- under connection churn the thread
+  // table stays bounded by the number of *open* connections instead of
+  // growing for the life of the server. Stop() joins both sets.
+  std::map<uint64_t, std::thread> reader_threads_
+      NNCELL_GUARDED_BY(conns_mu_);
+  std::vector<std::thread> finished_reader_threads_
+      NNCELL_GUARDED_BY(conns_mu_);
   uint64_t next_conn_id_ NNCELL_GUARDED_BY(conns_mu_) = 0;
 
   mutable Mutex queue_mu_;

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/failpoint.h"
@@ -55,7 +56,7 @@ Status ReadFull(int fd, void* buf, size_t n) {
   return Status::OK();
 }
 
-Status WriteFull(int fd, std::string_view bytes) {
+Status WriteFull(int fd, std::string_view bytes, int timeout_seconds) {
   failpoint::Action fault = failpoint::Check("server.socket.write");
   if (fault == failpoint::Action::kError) {
     return Status::Internal("server.socket.write: injected write error");
@@ -63,6 +64,16 @@ Status WriteFull(int fd, std::string_view bytes) {
   if (fault == failpoint::Action::kCrash) failpoint::Crash();
   size_t limit = bytes.size();
   if (fault == failpoint::Action::kShortWrite) limit = bytes.size() / 2;
+
+  // The deadline spans the whole loop, so a peer draining one byte per
+  // send() cannot stretch one frame write forever; each blocking send is
+  // itself bounded by the fd's SO_SNDTIMEO, so the worst case is
+  // deadline + one send timeout.
+  const auto deadline =
+      timeout_seconds > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::seconds(timeout_seconds)
+          : std::chrono::steady_clock::time_point::max();
 
   size_t written = 0;
   while (written < limit) {
@@ -74,6 +85,12 @@ Status WriteFull(int fd, std::string_view bytes) {
       return Errno("send");
     }
     written += static_cast<size_t>(w);
+    if (written < limit && std::chrono::steady_clock::now() >= deadline) {
+      return Status::Internal(
+          "send deadline exceeded (" + std::to_string(written) + " of " +
+          std::to_string(bytes.size()) + " bytes in " +
+          std::to_string(timeout_seconds) + "s)");
+    }
   }
   if (fault == failpoint::Action::kShortWrite) {
     return Status::Internal("server.socket.write: injected short write (" +

@@ -31,8 +31,12 @@ namespace server {
 // ("truncated read") or socket errors.
 Status ReadFull(int fd, void* buf, size_t n);
 
-// Writes all of `bytes`, looping over partial sends.
-Status WriteFull(int fd, std::string_view bytes);
+// Writes all of `bytes`, looping over partial sends. With
+// `timeout_seconds > 0` the whole write must complete within that many
+// seconds measured across the loop: a trickling peer that keeps each
+// individual send() alive (defeating a per-call SO_SNDTIMEO) still hits
+// the overall deadline and gets Internal("send deadline exceeded").
+Status WriteFull(int fd, std::string_view bytes, int timeout_seconds = 0);
 
 // --- connection setup -----------------------------------------------------
 
