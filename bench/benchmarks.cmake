@@ -32,6 +32,7 @@ nncell_add_fig(extension_knn)
 nncell_add_fig(model_vs_measured)
 nncell_add_fig(extension_parallel)
 nncell_add_fig(bench_regress)
+nncell_add_fig(bench_simd)
 target_link_libraries(model_vs_measured PRIVATE nncell_model)
 
 add_executable(loadgen ${CMAKE_SOURCE_DIR}/bench/loadgen.cc)
@@ -40,7 +41,7 @@ target_link_libraries(loadgen PRIVATE nncell_server_lib)
 set_target_properties(loadgen PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${NNCELL_BENCH_BINDIR})
 
-foreach(micro micro_lp micro_trees micro_metrics micro_persistence)
+foreach(micro micro_lp micro_trees micro_metrics micro_persistence micro_distance)
   add_executable(${micro} ${CMAKE_SOURCE_DIR}/bench/${micro}.cc)
   target_include_directories(${micro} PRIVATE ${CMAKE_SOURCE_DIR})
   set_target_properties(${micro} PROPERTIES
@@ -50,3 +51,4 @@ target_link_libraries(micro_lp PRIVATE nncell_geom nncell_lp benchmark::benchmar
 target_link_libraries(micro_trees PRIVATE nncell_data nncell_rstar nncell_xtree benchmark::benchmark)
 target_link_libraries(micro_metrics PRIVATE nncell_geom nncell_lp benchmark::benchmark)
 target_link_libraries(micro_persistence PRIVATE nncell_core nncell_data benchmark::benchmark)
+target_link_libraries(micro_distance PRIVATE nncell_common benchmark::benchmark)

@@ -5,19 +5,23 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
+#include "common/kernels/kernels.h"
+
 namespace nncell {
 
 // Euclidean (L2) distance helpers. The paper's NN-cells are defined for a
 // generic metric but all of its machinery (bisector half-spaces) requires
 // L2, which is also what the evaluation uses.
+//
+// These are thin wrappers over the kernel layer (common/kernels/): the
+// pair forms keep the strictly sequential accumulation order that every
+// batched SIMD kernel is bit-equal to, and Dot routes through the
+// dispatched table. Open-coded distance loops outside the kernel layer
+// are rejected by tools/nncell_lint.py (scalar-distance-loop).
 
 inline double L2DistSq(const double* a, const double* b, size_t dim) {
-  double s = 0.0;
-  for (size_t i = 0; i < dim; ++i) {
-    double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return kernels::L2DistSqPair(a, b, dim);
 }
 
 inline double L2Dist(const double* a, const double* b, size_t dim) {
@@ -26,24 +30,22 @@ inline double L2Dist(const double* a, const double* b, size_t dim) {
 
 inline double L2DistSq(const std::vector<double>& a,
                        const std::vector<double>& b) {
+  NNCELL_DCHECK(a.size() == b.size());
   return L2DistSq(a.data(), b.data(), a.size());
 }
 
 inline double L2Dist(const std::vector<double>& a,
                      const std::vector<double>& b) {
-  return std::sqrt(L2DistSq(a, b));
+  NNCELL_DCHECK(a.size() == b.size());
+  return std::sqrt(L2DistSq(a.data(), b.data(), a.size()));
 }
 
 inline double L2NormSq(const double* a, size_t dim) {
-  double s = 0.0;
-  for (size_t i = 0; i < dim; ++i) s += a[i] * a[i];
-  return s;
+  return kernels::L2NormSqRef(a, dim);
 }
 
 inline double Dot(const double* a, const double* b, size_t dim) {
-  double s = 0.0;
-  for (size_t i = 0; i < dim; ++i) s += a[i] * b[i];
-  return s;
+  return kernels::Dot(a, b, dim);
 }
 
 }  // namespace nncell

@@ -168,17 +168,7 @@ double HyperRect::Enlargement(const HyperRect& r) const {
 }
 
 double HyperRect::MinDistSq(const double* p) const {
-  double s = 0.0;
-  for (size_t i = 0; i < dim(); ++i) {
-    double d = 0.0;
-    if (p[i] < lo_[i]) {
-      d = lo_[i] - p[i];
-    } else if (p[i] > hi_[i]) {
-      d = p[i] - hi_[i];
-    }
-    s += d * d;
-  }
-  return s;
+  return kernels::MinDistSqRef(lo_.data(), hi_.data(), p, dim());
 }
 
 double HyperRect::MaxDistSq(const double* p) const {
@@ -194,47 +184,8 @@ double HyperRect::MinMaxDistSq(const double* p) const {
   // [RKV 95]: min over dimensions k of
   //   |p_k - rm_k|^2 + sum_{i != k} |p_i - rM_i|^2
   // where rm_k is the nearer face in dim k and rM_i the farther face.
-  const size_t d = dim();
-  double sum_max = 0.0;
-  std::vector<double> max_term(d), min_term(d);
-  for (size_t i = 0; i < d; ++i) {
-    // rM_i: farther face coordinate.
-    double far_face =
-        (p[i] >= 0.5 * (lo_[i] + hi_[i])) ? lo_[i] : hi_[i];
-    double near_face =
-        (p[i] <= 0.5 * (lo_[i] + hi_[i])) ? lo_[i] : hi_[i];
-    max_term[i] = (p[i] - far_face) * (p[i] - far_face);
-    min_term[i] = (p[i] - near_face) * (p[i] - near_face);
-    sum_max += max_term[i];
-  }
-  double best = std::numeric_limits<double>::infinity();
-  for (size_t k = 0; k < d; ++k) {
-    double v = sum_max - max_term[k] + min_term[k];
-    best = std::min(best, v);
-  }
-  return best;
-}
-
-double RawMinMaxDistSq(const double* lo, const double* hi, const double* p,
-                       size_t dim) {
-  double sum_max = 0.0;
-  double best = std::numeric_limits<double>::infinity();
-  // Two passes keep this allocation-free: first the farther-face sum, then
-  // the per-dimension swap of one term.
-  for (size_t i = 0; i < dim; ++i) {
-    double mid = 0.5 * (lo[i] + hi[i]);
-    double far_face = (p[i] >= mid) ? lo[i] : hi[i];
-    sum_max += (p[i] - far_face) * (p[i] - far_face);
-  }
-  for (size_t k = 0; k < dim; ++k) {
-    double mid = 0.5 * (lo[k] + hi[k]);
-    double far_face = (p[k] >= mid) ? lo[k] : hi[k];
-    double near_face = (p[k] <= mid) ? lo[k] : hi[k];
-    double max_term = (p[k] - far_face) * (p[k] - far_face);
-    double min_term = (p[k] - near_face) * (p[k] - near_face);
-    best = std::min(best, sum_max - max_term + min_term);
-  }
-  return best;
+  // The reference kernel carries the two-pass allocation-free form.
+  return kernels::MinMaxDistSqRef(lo_.data(), hi_.data(), p, dim());
 }
 
 std::string HyperRect::ToString() const {

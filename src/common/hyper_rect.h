@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/kernels/kernels.h"
+
 namespace nncell {
 
 // An axis-parallel d-dimensional rectangle [lo_i, hi_i] per dimension.
@@ -108,24 +110,19 @@ inline bool RawIntersects(const double* lo, const double* hi,
   return true;
 }
 
+// MINDIST over raw bounds: the scalar reference kernel (branchless form,
+// bit-equal to the classic branchy loop; see kernels_scalar.cc). Batched
+// traversal loops should prefer kernels::MinDistSqBatch4.
 inline double RawMinDistSq(const double* lo, const double* hi,
                            const double* p, size_t dim) {
-  double s = 0.0;
-  for (size_t i = 0; i < dim; ++i) {
-    double d = 0.0;
-    if (p[i] < lo[i]) {
-      d = lo[i] - p[i];
-    } else if (p[i] > hi[i]) {
-      d = p[i] - hi[i];
-    }
-    s += d * d;
-  }
-  return s;
+  return kernels::MinDistSqRef(lo, hi, p, dim);
 }
 
 // MINMAXDIST of [RKV 95] over raw bounds; see HyperRect::MinMaxDistSq.
-double RawMinMaxDistSq(const double* lo, const double* hi, const double* p,
-                       size_t dim);
+inline double RawMinMaxDistSq(const double* lo, const double* hi,
+                              const double* p, size_t dim) {
+  return kernels::MinMaxDistSqRef(lo, hi, p, dim);
+}
 
 }  // namespace nncell
 

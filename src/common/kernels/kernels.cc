@@ -1,0 +1,85 @@
+// Kernel dispatch: one table is selected at first use and never changes.
+// Order of preference is cpuid-driven (avx2 on x86-64 with AVX2, neon on
+// aarch64, else scalar); NNCELL_SIMD=off|scalar|avx2|neon overrides for
+// testing. Asking for an ISA this build or CPU cannot run falls back to
+// scalar and records the fact in DispatchReason() — results are identical
+// either way, that is the whole point of the bit-equality contract.
+
+#include "common/kernels/kernels_isa.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace nncell {
+namespace kernels {
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const KernelOps* Avx2IfRunnable() {
+  const KernelOps* ops = GetAvx2Ops();
+  return (ops != nullptr && CpuHasAvx2()) ? ops : nullptr;
+}
+
+struct Dispatch {
+  const KernelOps* ops;
+  SimdLevel level;
+  const char* reason;
+};
+
+Dispatch Resolve() {
+  const KernelOps* avx2 = Avx2IfRunnable();
+  const KernelOps* neon = GetNeonOps();
+  const char* env = std::getenv("NNCELL_SIMD");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "auto") == 0) {
+    if (avx2 != nullptr) return {avx2, SimdLevel::kAvx2, "cpuid"};
+    if (neon != nullptr) return {neon, SimdLevel::kNeon, "cpuid"};
+    return {GetScalarOps(), SimdLevel::kScalar, "cpuid"};
+  }
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0) {
+    return {GetScalarOps(), SimdLevel::kScalar, "env"};
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    if (avx2 != nullptr) return {avx2, SimdLevel::kAvx2, "env"};
+    return {GetScalarOps(), SimdLevel::kScalar, "env-fallback:avx2"};
+  }
+  if (std::strcmp(env, "neon") == 0) {
+    if (neon != nullptr) return {neon, SimdLevel::kNeon, "env"};
+    return {GetScalarOps(), SimdLevel::kScalar, "env-fallback:neon"};
+  }
+  return {GetScalarOps(), SimdLevel::kScalar, "env-fallback:unknown"};
+}
+
+const Dispatch& GetDispatch() {
+  static const Dispatch d = Resolve();
+  return d;
+}
+
+}  // namespace
+
+const KernelOps& Ops() { return *GetDispatch().ops; }
+
+const KernelOps& ScalarOps() { return *GetScalarOps(); }
+
+SimdLevel ActiveLevel() { return GetDispatch().level; }
+
+const char* ActiveLevelName() { return GetDispatch().ops->name; }
+
+const char* DispatchReason() { return GetDispatch().reason; }
+
+std::vector<const KernelOps*> AllOpsForTest() {
+  std::vector<const KernelOps*> all;
+  all.push_back(GetScalarOps());
+  if (const KernelOps* avx2 = Avx2IfRunnable()) all.push_back(avx2);
+  if (const KernelOps* neon = GetNeonOps()) all.push_back(neon);
+  return all;
+}
+
+}  // namespace kernels
+}  // namespace nncell

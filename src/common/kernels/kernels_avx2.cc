@@ -1,0 +1,189 @@
+// AVX2 kernels. Compiled with -mavx2 -ffp-contract=off on x86-64 (the
+// dispatcher only selects this table when cpuid reports AVX2, so the TU may
+// freely use the intrinsics). Every kernel is bit-equal to the scalar
+// reference in kernels_scalar.cc: point-lane kernels keep each object's
+// accumulation strictly sequential (lanes are objects), dim-lane kernels
+// reproduce the canonical blocked reduction, and all min/max selections use
+// cmp+blend with exact C-ternary semantics (never min_pd/max_pd, whose NaN
+// behavior differs).
+
+#include "common/kernels/kernels_isa.h"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace nncell {
+namespace kernels {
+namespace {
+
+// (a > b) ? a : b per lane, matching SelectMax in the scalar reference:
+// blendv picks the second source where the compare is true, the first
+// (here b) where it is false — including every NaN case.
+inline __m256d SelectMaxPd(__m256d a, __m256d b) {
+  return _mm256_blendv_pd(b, a, _mm256_cmp_pd(a, b, _CMP_GT_OQ));
+}
+
+// (v < best) ? v : best per lane.
+inline __m256d SelectMinPd(__m256d v, __m256d best) {
+  return _mm256_blendv_pd(best, v, _mm256_cmp_pd(v, best, _CMP_LT_OQ));
+}
+
+// (acc0 + acc2) + (acc1 + acc3): the canonical combine of the four lane
+// accumulators (see DotBlocked in kernels_scalar.cc).
+inline double ReduceBlocked(__m256d acc) {
+  __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                            _mm256_extractf128_pd(acc, 1));
+  return _mm_cvtsd_f64(pair) +
+         _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  size_t n4 = n & ~(kLaneWidth - 1);
+  for (; i < n4; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double s = ReduceBlocked(acc);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void MatVecAvx2(const double* a, size_t rows, size_t n, size_t stride,
+                const double* x, double* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    y[r] = DotAvx2(a + r * stride, x, n);
+  }
+}
+
+void AxpyAvx2(double alpha, const double* x, double* y, size_t n) {
+  __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  size_t n4 = n & ~(kLaneWidth - 1);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+// One SoA block: lane j is point j, per-dimension accumulation sequential.
+inline __m256d L2BlockAvx2(const double* q, const double* blk, size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t i = 0; i < dim; ++i) {
+    __m256d d = _mm256_sub_pd(_mm256_loadu_pd(blk + i * kLaneWidth),
+                              _mm256_set1_pd(q[i]));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  return acc;
+}
+
+void L2BatchSoaAvx2(const double* q, const double* blocks, size_t n,
+                    size_t dim, double* out) {
+  size_t full = n / kLaneWidth;
+  for (size_t b = 0; b < full; ++b) {
+    _mm256_storeu_pd(out + b * kLaneWidth,
+                     L2BlockAvx2(q, blocks + b * kLaneWidth * dim, dim));
+  }
+  size_t rem = n % kLaneWidth;
+  if (rem) {
+    double tmp[kLaneWidth];
+    _mm256_storeu_pd(tmp, L2BlockAvx2(q, blocks + full * kLaneWidth * dim,
+                                      dim));
+    for (size_t j = 0; j < rem; ++j) out[full * kLaneWidth + j] = tmp[j];
+  }
+}
+
+inline __m256d Gather4(const double* const p[4], size_t i) {
+  return _mm256_set_pd(p[3][i], p[2][i], p[1][i], p[0][i]);
+}
+
+void L2Batch4Avx2(const double* q, const double* const p[4], size_t dim,
+                  double* out) {
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t i = 0; i < dim; ++i) {
+    __m256d d = _mm256_sub_pd(Gather4(p, i), _mm256_set1_pd(q[i]));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  _mm256_storeu_pd(out, acc);
+}
+
+void MinDistBatch4Avx2(const double* const lo[4], const double* const hi[4],
+                       const double* p, size_t dim, double* out) {
+  __m256d acc = _mm256_setzero_pd();
+  __m256d zero = _mm256_setzero_pd();
+  for (size_t i = 0; i < dim; ++i) {
+    __m256d pv = _mm256_set1_pd(p[i]);
+    __m256d t1 = _mm256_sub_pd(Gather4(lo, i), pv);
+    __m256d t2 = _mm256_sub_pd(pv, Gather4(hi, i));
+    __m256d d = SelectMaxPd(SelectMaxPd(t1, t2), zero);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  _mm256_storeu_pd(out, acc);
+}
+
+void MinMaxDistBatch4Avx2(const double* const lo[4],
+                          const double* const hi[4], const double* p,
+                          size_t dim, double* out) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  __m256d sum_max = _mm256_setzero_pd();
+  for (size_t i = 0; i < dim; ++i) {
+    __m256d lov = Gather4(lo, i);
+    __m256d hiv = Gather4(hi, i);
+    __m256d pv = _mm256_set1_pd(p[i]);
+    __m256d mid = _mm256_mul_pd(half, _mm256_add_pd(lov, hiv));
+    // (p >= mid) ? lo : hi
+    __m256d far_face = _mm256_blendv_pd(
+        hiv, lov, _mm256_cmp_pd(pv, mid, _CMP_GE_OQ));
+    __m256d dmax = _mm256_sub_pd(pv, far_face);
+    sum_max = _mm256_add_pd(sum_max, _mm256_mul_pd(dmax, dmax));
+  }
+  __m256d best = _mm256_set1_pd(__builtin_huge_val());
+  for (size_t k = 0; k < dim; ++k) {
+    __m256d lov = Gather4(lo, k);
+    __m256d hiv = Gather4(hi, k);
+    __m256d pv = _mm256_set1_pd(p[k]);
+    __m256d mid = _mm256_mul_pd(half, _mm256_add_pd(lov, hiv));
+    __m256d far_face = _mm256_blendv_pd(
+        hiv, lov, _mm256_cmp_pd(pv, mid, _CMP_GE_OQ));
+    // (p <= mid) ? lo : hi
+    __m256d near_face = _mm256_blendv_pd(
+        hiv, lov, _mm256_cmp_pd(pv, mid, _CMP_LE_OQ));
+    __m256d dmax = _mm256_sub_pd(pv, far_face);
+    __m256d dmin = _mm256_sub_pd(pv, near_face);
+    // (sum_max - dmax^2) + dmin^2, same association as the reference.
+    __m256d v = _mm256_add_pd(
+        _mm256_sub_pd(sum_max, _mm256_mul_pd(dmax, dmax)),
+        _mm256_mul_pd(dmin, dmin));
+    best = SelectMinPd(v, best);
+  }
+  _mm256_storeu_pd(out, best);
+}
+
+const KernelOps kAvx2Ops = {
+    "avx2",          DotAvx2,        MatVecAvx2,
+    AxpyAvx2,        L2BatchSoaAvx2, L2Batch4Avx2,
+    MinDistBatch4Avx2, MinMaxDistBatch4Avx2,
+};
+
+}  // namespace
+
+const KernelOps* GetAvx2Ops() { return &kAvx2Ops; }
+
+}  // namespace kernels
+}  // namespace nncell
+
+#else  // !(__AVX2__ && __x86_64__)
+
+namespace nncell {
+namespace kernels {
+
+const KernelOps* GetAvx2Ops() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace nncell
+
+#endif

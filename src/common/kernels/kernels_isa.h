@@ -1,0 +1,21 @@
+#ifndef NNCELL_COMMON_KERNELS_KERNELS_ISA_H_
+#define NNCELL_COMMON_KERNELS_KERNELS_ISA_H_
+
+#include "common/kernels/kernels.h"
+
+// Internal seam between the dispatcher and the per-ISA translation units.
+// Each getter returns the TU's op table, or nullptr when that ISA is not
+// compiled into this build (wrong architecture or missing compiler flag).
+// Runtime CPU support is the dispatcher's job, not the TU's.
+
+namespace nncell {
+namespace kernels {
+
+const KernelOps* GetScalarOps();
+const KernelOps* GetAvx2Ops();
+const KernelOps* GetNeonOps();
+
+}  // namespace kernels
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_KERNELS_KERNELS_ISA_H_

@@ -1,0 +1,78 @@
+#ifndef NNCELL_COMMON_KERNELS_SOA_STORE_H_
+#define NNCELL_COMMON_KERNELS_SOA_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/kernels/kernels.h"
+
+namespace nncell {
+namespace kernels {
+
+// Structure-of-arrays point store, blocked to the SIMD lane width: points
+// are grouped into blocks of kLaneWidth, dimension-major inside a block —
+//   data[block * kLaneWidth * dim + i * kLaneWidth + lane]
+// is coordinate i of point (block * kLaneWidth + lane). The batched L2
+// kernel then reads one contiguous vector per dimension instead of
+// kLaneWidth strided rows. The tail block is zero-padded; padding lanes
+// are computed and discarded (BatchL2DistSq only writes n outputs), so
+// padding never leaks into results.
+//
+// The store itself only moves bytes — all arithmetic goes through the
+// dispatched kernels, so results are bit-equal to per-pair L2DistSq under
+// every NNCELL_SIMD setting.
+class SoaBlockStore {
+ public:
+  explicit SoaBlockStore(size_t dim) : dim_(dim) {}
+
+  size_t size() const { return n_; }
+  size_t dim() const { return dim_; }
+
+  void Reserve(size_t n) {
+    data_.reserve(((n + kLaneWidth - 1) / kLaneWidth) * kLaneWidth * dim_);
+  }
+
+  void Clear() {
+    n_ = 0;
+    data_.clear();
+  }
+
+  // Appends one point (dim_ doubles); index = previous size().
+  void Append(const double* p) {
+    size_t block = n_ / kLaneWidth;
+    size_t lane = n_ % kLaneWidth;
+    if (lane == 0) data_.resize((block + 1) * kLaneWidth * dim_, 0.0);
+    double* blk = data_.data() + block * kLaneWidth * dim_;
+    for (size_t i = 0; i < dim_; ++i) blk[i * kLaneWidth + lane] = p[i];
+    ++n_;
+  }
+
+  // Copies point j back out as a contiguous row (dim_ doubles).
+  void Get(size_t j, double* out) const {
+    NNCELL_DCHECK(j < n_);
+    const double* blk = data_.data() + (j / kLaneWidth) * kLaneWidth * dim_;
+    size_t lane = j % kLaneWidth;
+    for (size_t i = 0; i < dim_; ++i) out[i] = blk[i * kLaneWidth + lane];
+  }
+
+  const double* blocks() const { return data_.data(); }
+
+  // out[j] = L2DistSq(q, point_j) for j in [0, size()), through the
+  // dispatched batch kernel. q must have dim() coordinates, out must have
+  // room for size() doubles.
+  void BatchL2DistSq(const double* q, double* out) const {
+    if (n_ == 0) return;
+    Ops().l2_batch_soa(q, data_.data(), n_, dim_, out);
+  }
+
+ private:
+  size_t dim_;
+  size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace kernels
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_KERNELS_SOA_STORE_H_

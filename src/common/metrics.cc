@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/kernels/kernels.h"
+
 namespace nncell {
 namespace metrics {
 
@@ -39,6 +41,11 @@ Registry::Registry() {
     auto [it, inserted] = slots_.emplace(def.name, std::move(slot));
     NNCELL_CHECK_MSG(inserted, "duplicate metric name in kMetricDefs");
   }
+  // The dispatch level is fixed for the process lifetime; recording it at
+  // construction makes every snapshot carry it (ResetAll re-sets it, since
+  // a zeroed gauge would misread as a valid level: scalar).
+  gauge(kKernelsDispatch)
+      ->Set(static_cast<int64_t>(kernels::ActiveLevel()));
 }
 
 Registry& Registry::Global() {
@@ -75,6 +82,10 @@ void Registry::ResetAll() {
     if (slot.gauge) slot.gauge->Reset();
     if (slot.histogram) slot.histogram->Reset();
   }
+  // Process-constant gauges survive resets; a zeroed dispatch level would
+  // misread as scalar.
+  gauge(kKernelsDispatch)
+      ->Set(static_cast<int64_t>(kernels::ActiveLevel()));
 }
 
 const SnapshotEntry* Snapshot::Find(std::string_view name) const {

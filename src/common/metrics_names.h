@@ -75,6 +75,9 @@ inline constexpr char kQueryFallbacks[] = "query.nn.fallbacks";
 inline constexpr char kQueryCandidatesPerQuery[] =
     "query.nn.candidates_per_query";
 
+// --- kernels (dispatched SIMD layer) ---------------------------------------
+inline constexpr char kKernelsDispatch[] = "kernels.dispatch";
+
 // --- server (always-on query service) -------------------------------------
 inline constexpr char kServerConnectionsOpened[] = "server.connections.opened";
 inline constexpr char kServerConnectionsClosed[] = "server.connections.closed";
@@ -164,6 +167,9 @@ inline constexpr MetricDef kMetricDefs[] = {
      "queries that fell back to a sequential scan (numeric edge)"},
     {kQueryCandidatesPerQuery, Kind::kHistogram, "candidates",
      "distribution of the candidate-set size per NN query"},
+    {kKernelsDispatch, Kind::kGauge, "level",
+     "active SIMD dispatch level (0 = scalar, 1 = avx2, 2 = neon); "
+     "process-constant, restored across ResetAll"},
     {kServerConnectionsOpened, Kind::kCounter, "connections",
      "client connections accepted by the query server"},
     {kServerConnectionsClosed, Kind::kCounter, "connections",

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/distance.h"
+#include "common/kernels/kernels.h"
 
 namespace nncell {
 
@@ -101,10 +102,20 @@ size_t BisectorPruner::BuildPruned(const double* owner,
     return 0;
   }
 
-  by_dist_.clear();
-  by_dist_.reserve(m);
-  for (size_t j = 0; j < m; ++j) {
-    by_dist_.emplace_back(L2DistSq(candidates[j], owner, dim), j);
+  // Candidate distances through the batched gather kernel, four rows per
+  // call; bit-equal to per-pair L2DistSq, so the seed selection (and with
+  // it the emitted constraint system) is dispatch-invariant.
+  by_dist_.resize(m);
+  {
+    size_t j = 0;
+    double d4[4];
+    for (; j + 4 <= m; j += 4) {
+      kernels::L2DistSqBatch4(owner, &candidates[j], dim, d4);
+      for (size_t t = 0; t < 4; ++t) by_dist_[j + t] = {d4[t], j + t};
+    }
+    for (; j < m; ++j) {
+      by_dist_[j] = {L2DistSq(candidates[j], owner, dim), j};
+    }
   }
   std::nth_element(by_dist_.begin(), by_dist_.begin() + num_seeds - 1,
                    by_dist_.end());

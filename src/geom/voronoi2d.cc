@@ -13,7 +13,8 @@ double Polygon2D::Area() const {
   for (size_t i = 0; i < vertices.size(); ++i) {
     const auto& p = vertices[i];
     const auto& q = vertices[(i + 1) % vertices.size()];
-    twice += p[0] * q[1] - q[0] * p[1];
+    // nncell-lint: allow(scalar-distance-loop) 2D shoelace cross product,
+    twice += p[0] * q[1] - q[0] * p[1];  // not a dimension reduction
   }
   return 0.5 * std::abs(twice);
 }

@@ -58,7 +58,7 @@ LpResult ActiveSetSolver::Run(const LpProblem& problem,
   if (sx0 != nullptr) {
     std::copy(sx0, sx0 + m, sx.data());
   } else {
-    MatVec(problem.matrix(), m, d, x.data(), sx.data());
+    MatVec(problem.matrix(), m, d, problem.stride(), x.data(), sx.data());
   }
 
   // Feasibility of the start (allow tolerance-level violation).
@@ -178,9 +178,9 @@ LpResult ActiveSetSolver::Run(const LpProblem& problem,
     // Ratio test: largest step alpha with x + alpha p feasible. One
     // streaming pass computes every a_i . p; slacks come from the
     // maintained sx cache.
-    MatVec(problem.matrix(), m, d, p.data(), sp.data());
+    MatVec(problem.matrix(), m, d, problem.stride(), p.data(), sp.data());
     if ((iter & 31u) == 31u) {
-      MatVec(problem.matrix(), m, d, x.data(), sx.data());  // drift refresh
+      MatVec(problem.matrix(), m, d, problem.stride(), x.data(), sx.data());  // drift refresh
     }
     double alpha = kInf;
     size_t blocker = m;  // sentinel
@@ -238,8 +238,7 @@ LpResult ActiveSetSolver::Run(const LpProblem& problem,
     }
     if (SolveLinearSystem(gram, rhs, k)) {
       for (size_t i = 0; i < k; ++i) {
-        const double* ai = problem.row(active[i]);
-        for (size_t j = 0; j < d; ++j) x[j] += rhs[i] * ai[j];
+        Axpy(rhs[i], problem.row(active[i]), x.data(), d);
       }
     }
   }

@@ -29,7 +29,7 @@ void FaceSolveSession::PrepareFaces(const LpProblem& problem,
 
   x0_.assign(x0.begin(), x0.end());
   sx0_.resize(m);
-  MatVec(problem.matrix(), m, d, x0_.data(), sx0_.data());
+  MatVec(problem.matrix(), m, d, problem.stride(), x0_.data(), sx0_.data());
 
   // Every certificate below rests on x0 being feasible: a skipped face
   // reuses x0's coordinates verbatim, and a warm start assumes the hit
@@ -49,7 +49,8 @@ void FaceSolveSession::PrepareFaces(const LpProblem& problem,
   hit_t_.assign(2 * d, kInf);
   hit_row_.assign(2 * d, kNoRow);
   const double* a = problem.matrix();
-  for (size_t r = 0; r < m; ++r, a += d) {
+  const size_t stride = problem.stride();
+  for (size_t r = 0; r < m; ++r, a += stride) {
     // Slack of the start; feasibility dust (a phase-I point may sit a hair
     // outside a row) clamps to a zero-length step rather than a negative
     // one.
@@ -131,11 +132,11 @@ LpResult FaceSolveSession::SolveFace(const LpProblem& problem,
       warm_x_ = x0_;
       const double step = maximize ? hit_t_[slot] : -hit_t_[slot];
       warm_x_[axis] += step;
-      const size_t d = problem.dim();
       const size_t m = problem.num_constraints();
+      const size_t stride = problem.stride();
       warm_sx_ = sx0_;
       const double* col = problem.matrix() + axis;
-      for (size_t i = 0; i < m; ++i) warm_sx_[i] += step * col[i * d];
+      for (size_t i = 0; i < m; ++i) warm_sx_[i] += step * col[i * stride];
       warm_active_.assign(1, r);
       LpResult result =
           maximize

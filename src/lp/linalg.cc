@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/distance.h"
+#include "common/kernels/kernels.h"
 
 namespace nncell {
 
@@ -42,31 +43,13 @@ bool SolveLinearSystem(std::vector<double>& m, std::vector<double>& r,
   return true;
 }
 
-void MatVec(const double* a, size_t m, size_t d, const double* x, double* y) {
-  // Two rows per step: the row pair shares the stream of x and gives the
-  // compiler two independent accumulator chains to interleave.
-  size_t i = 0;
-  for (; i + 1 < m; i += 2) {
-    const double* r0 = a + i * d;
-    const double* r1 = r0 + d;
-    double s0 = 0.0, s1 = 0.0;
-    for (size_t k = 0; k < d; ++k) {
-      s0 += r0[k] * x[k];
-      s1 += r1[k] * x[k];
-    }
-    y[i] = s0;
-    y[i + 1] = s1;
-  }
-  if (i < m) {
-    const double* r0 = a + i * d;
-    double s0 = 0.0;
-    for (size_t k = 0; k < d; ++k) s0 += r0[k] * x[k];
-    y[i] = s0;
-  }
+void MatVec(const double* a, size_t m, size_t d, size_t stride,
+            const double* x, double* y) {
+  kernels::MatVec(a, m, d, stride, x, y);
 }
 
 void Axpy(double alpha, const double* x, double* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  kernels::Axpy(alpha, x, y, n);
 }
 
 size_t OrthonormalBasis(const std::vector<const double*>& rows, size_t d,

@@ -9,9 +9,10 @@ namespace nncell {
 // Small dense linear algebra used by the active-set LP solver. Problem
 // dimensions are tiny (<= ~33), so simple Gaussian elimination with partial
 // pivoting is both fast and adequate. The hot path, however, streams a
-// packed m x d constraint matrix with m up to N-1 bisector rows, so the
-// matrix-vector kernels below are written to vectorize: contiguous
-// row-major input, no per-row indirection, independent accumulator chains.
+// packed m x d constraint matrix with m up to N-1 bisector rows; the
+// matrix-vector kernels delegate to the runtime-dispatched SIMD layer
+// (common/kernels/), which assumes the lane-padded row stride that
+// LpProblem::stride() provides.
 
 // Solves the k x k system M y = r in place. M is row-major and is
 // destroyed. Returns false when M is (numerically) singular.
@@ -19,10 +20,12 @@ bool SolveLinearSystem(std::vector<double>& m, std::vector<double>& r,
                        size_t k, double pivot_tol = 1e-12);
 
 // y[i] = a[i] . x for every row i of the packed row-major m x d matrix
-// `a`. This is the active-set solver's per-iteration ratio-test kernel:
-// one streaming pass over the constraint matrix instead of m separate
-// Dot() calls.
-void MatVec(const double* a, size_t m, size_t d, const double* x, double* y);
+// `a` whose rows are `stride` doubles apart (stride >= d; pass
+// LpProblem::stride() for padded constraint matrices). This is the
+// active-set solver's per-iteration ratio-test kernel: one streaming pass
+// over the constraint matrix instead of m separate Dot() calls.
+void MatVec(const double* a, size_t m, size_t d, size_t stride,
+            const double* x, double* y);
 
 // y[i] += alpha * x[i] for i in [0, n).
 void Axpy(double alpha, const double* x, double* y, size_t n);

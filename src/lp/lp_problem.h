@@ -6,38 +6,48 @@
 
 #include "common/hyper_rect.h"
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 
 namespace nncell {
 
 // A linear program over x in R^d with inequality constraints a_i . x <= b_i.
-// Rows are stored dense and row-major; the dimension is fixed at
-// construction. Box (data-space) constraints are plain rows so that the
-// solver sees a single homogeneous constraint system.
+// Rows are stored dense and row-major, padded to the SIMD lane width: each
+// row occupies stride() = PaddedDim(dim()) doubles, the first dim() of
+// which are the coefficients and the rest zero. Streaming kernels
+// (kernels::MatVec) then read whole lane blocks per row with no tail
+// handling, and the zero padding never contributes to a product. Box
+// (data-space) constraints are plain rows so that the solver sees a single
+// homogeneous constraint system.
 class LpProblem {
  public:
-  explicit LpProblem(size_t dim) : dim_(dim) { NNCELL_CHECK(dim > 0); }
+  explicit LpProblem(size_t dim)
+      : dim_(dim), stride_(kernels::PaddedDim(dim)) {
+    NNCELL_CHECK(dim > 0);
+  }
 
   size_t dim() const { return dim_; }
+  // Padded row length of the packed matrix (multiple of kLaneWidth).
+  size_t stride() const { return stride_; }
   size_t num_constraints() const { return b_.size(); }
 
   // Adds the constraint a . x <= b.
   void AddConstraint(const double* a, double b) {
-    a_.insert(a_.end(), a, a + dim_);
-    b_.push_back(b);
+    double* row = AppendRow(b);
+    for (size_t i = 0; i < dim_; ++i) row[i] = a[i];
   }
   void AddConstraint(const std::vector<double>& a, double b) {
     NNCELL_CHECK(a.size() == dim_);
     AddConstraint(a.data(), b);
   }
 
-  // Appends an uninitialized row with right-hand side b and returns the
-  // pointer to its dim() coefficients, to be filled by the caller. Lets
-  // row builders (bisectors) write straight into the packed matrix instead
-  // of staging each row in a temporary vector.
+  // Appends a zeroed row with right-hand side b and returns the pointer to
+  // its dim() coefficients, to be filled by the caller. Lets row builders
+  // (bisectors) write straight into the packed matrix instead of staging
+  // each row in a temporary vector. The padding tail stays zero.
   double* AppendRow(double b) {
     b_.push_back(b);
-    a_.resize(a_.size() + dim_);
-    return a_.data() + (b_.size() - 1) * dim_;
+    a_.resize(a_.size() + stride_);
+    return a_.data() + (b_.size() - 1) * stride_;
   }
 
   // Adds 2d rows bounding x to the rectangle: x_i <= hi_i and -x_i <= -lo_i.
@@ -46,7 +56,7 @@ class LpProblem {
   // Row accessors.
   const double* row(size_t i) const {
     NNCELL_DCHECK(i < num_constraints());
-    return a_.data() + i * dim_;
+    return a_.data() + i * stride_;
   }
   double rhs(size_t i) const {
     NNCELL_DCHECK(i < num_constraints());
@@ -56,12 +66,13 @@ class LpProblem {
   // Max violation of x over all constraints (<= 0 means feasible).
   double MaxViolation(const double* x) const;
 
-  // The packed num_constraints x dim row-major constraint matrix, for
-  // streaming kernels (lp::MatVec) over all rows at once.
+  // The packed num_constraints x stride() row-major constraint matrix, for
+  // streaming kernels (kernels::MatVec with stride()) over all rows at
+  // once. Walk rows with stride(), not dim().
   const double* matrix() const { return a_.data(); }
 
   void Reserve(size_t rows) {
-    a_.reserve(rows * dim_);
+    a_.reserve(rows * stride_);
     b_.reserve(rows);
   }
   void Clear() {
@@ -73,12 +84,14 @@ class LpProblem {
   void Reset(size_t dim) {
     NNCELL_CHECK(dim > 0);
     dim_ = dim;
+    stride_ = kernels::PaddedDim(dim);
     Clear();
   }
 
  private:
   size_t dim_;
-  std::vector<double> a_;  // num_constraints x dim, row-major
+  size_t stride_;  // dim_ rounded up to kernels::kLaneWidth
+  std::vector<double> a_;  // num_constraints x stride_, row-major
   std::vector<double> b_;
 };
 

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/distance.h"
+#include "common/kernels/kernels.h"
 #include "common/metrics.h"
 #include "common/metrics_names.h"
 #include "common/rng.h"
@@ -18,6 +19,19 @@ namespace nncell {
 namespace {
 
 constexpr uint64_t kInvalidId = std::numeric_limits<uint64_t>::max();
+
+// out[j] = L2DistSq(points[ids[j]], q) through the batched gather kernel,
+// four owners per call; bit-equal to the per-pair kernel.
+void BatchOwnerDistSq(const PointSet& points, const uint64_t* ids, size_t n,
+                      const double* q, size_t dim, double* out) {
+  const double* ptrs[4];
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    for (size_t t = 0; t < 4; ++t) ptrs[t] = points[ids[j + t]];
+    kernels::L2DistSqBatch4(q, ptrs, dim, out + j);
+  }
+  for (; j < n; ++j) out[j] = L2DistSq(points[ids[j]], q, dim);
+}
 
 // Registry handles for the query pipeline (resolved once per process).
 struct QueryMetrics {
@@ -491,19 +505,41 @@ StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
   }
   result.candidates = matches.size();
 
-  // Stage 2: exact distance scan over the candidate owners.
+  // Stage 2: exact distance scan over the candidate owners, four at a
+  // time through the batched gather kernel. Results are compared in match
+  // order with distances bit-equal to the pair kernel, so the winner (and
+  // the id tie-break) is exactly the old scalar scan's.
   TraceTimer scan_timer;
   uint64_t distance_computations = matches.size();
   double best = std::numeric_limits<double>::infinity();
   uint64_t best_id = kInvalidId;
   const double* best_point = nullptr;
-  for (const auto& m : matches) {
-    const double* owner = points_[m.id];
-    double d2 = L2DistSq(owner, q, dim_);
-    if (d2 < best || (d2 == best && m.id < best_id)) {
-      best = d2;
-      best_id = m.id;
-      best_point = owner;
+  {
+    const size_t nm = matches.size();
+    const double* ptrs[4];
+    double d4[4];
+    size_t i = 0;
+    for (; i + 4 <= nm; i += 4) {
+      for (size_t t = 0; t < 4; ++t) ptrs[t] = points_[matches[i + t].id];
+      kernels::L2DistSqBatch4(q, ptrs, dim_, d4);
+      for (size_t t = 0; t < 4; ++t) {
+        const uint64_t id = matches[i + t].id;
+        if (d4[t] < best || (d4[t] == best && id < best_id)) {
+          best = d4[t];
+          best_id = id;
+          best_point = ptrs[t];
+        }
+      }
+    }
+    for (; i < nm; ++i) {
+      const uint64_t id = matches[i].id;
+      const double* owner = points_[id];
+      double d2 = L2DistSq(owner, q, dim_);
+      if (d2 < best || (d2 == best && id < best_id)) {
+        best = d2;
+        best_id = id;
+        best_point = owner;
+      }
     }
   }
   if (trace != nullptr) {
@@ -518,16 +554,34 @@ StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
     result.used_fallback = true;
     TraceTimer fallback_timer;
     uint64_t scanned = 0;
+    uint64_t id4[4];
+    const double* ptr4[4];
+    double d4[4];
+    size_t fill = 0;
+    auto flush = [&](size_t count) {
+      for (size_t t = 0; t < count; ++t) {
+        if (d4[t] < best) {
+          best = d4[t];
+          best_id = id4[t];
+          best_point = ptr4[t];
+        }
+      }
+    };
     for (uint64_t id = 0; id < points_.size(); ++id) {
       if (!alive_[id]) continue;
       ++scanned;
-      double d2 = L2DistSq(points_[id], q, dim_);
-      if (d2 < best) {
-        best = d2;
-        best_id = id;
-        best_point = points_[id];
+      id4[fill] = id;
+      ptr4[fill] = points_[id];
+      if (++fill == 4) {
+        kernels::L2DistSqBatch4(q, ptr4, dim_, d4);
+        flush(4);
+        fill = 0;
       }
     }
+    for (size_t t = 0; t < fill; ++t) {
+      d4[t] = L2DistSq(ptr4[t], q, dim_);
+    }
+    flush(fill);
     distance_computations += scanned;
     if (trace != nullptr) {
       trace->stages.push_back(
@@ -619,7 +673,8 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(
     for (const auto& m : matches) ids.push_back(m.id);
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    for (uint64_t id : ids) dists.push_back(L2DistSq(points_[id], q, dim_));
+    dists.resize(ids.size());
+    BatchOwnerDistSq(points_, ids.data(), ids.size(), q, dim_, dists.data());
   }
   std::sort(dists.begin(), dists.end());
 
@@ -648,10 +703,11 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 
+    std::vector<double> d2s(ids.size());
+    BatchOwnerDistSq(points_, ids.data(), ids.size(), q, dim_, d2s.data());
     std::vector<std::pair<double, uint64_t>> within;
-    for (uint64_t id : ids) {
-      double d2 = L2DistSq(points_[id], q, dim_);
-      if (d2 <= radius_sq) within.emplace_back(d2, id);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (d2s[i] <= radius_sq) within.emplace_back(d2s[i], ids[i]);
     }
     if (within.size() >= k) {
       std::sort(within.begin(), within.end());
@@ -697,10 +753,11 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::RangeSearch(
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 
   const double radius_sq = radius * radius;
+  std::vector<double> d2s(ids.size());
+  BatchOwnerDistSq(points_, ids.data(), ids.size(), q, dim_, d2s.data());
   std::vector<std::pair<double, uint64_t>> within;
-  for (uint64_t id : ids) {
-    double d2 = L2DistSq(points_[id], q, dim_);
-    if (d2 <= radius_sq) within.emplace_back(d2, id);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (d2s[i] <= radius_sq) within.emplace_back(d2s[i], ids[i]);
   }
   std::sort(within.begin(), within.end());
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/distance.h"
+#include "common/kernels/kernels.h"
 #include "common/metrics.h"
 #include "common/metrics_names.h"
 #include "rstar/bulk_load.h"
@@ -483,13 +484,16 @@ void RTreeCore::BranchAndBoundRec(PageId pid, const double* q,
   const size_t dim = options_.dim;
   const size_t aux = options_.aux_per_entry;
   // Generate the active branch list: MINDIST and MINMAXDIST per child.
+  // Internal bounds are staged into a flat scratch copy (EntryView
+  // pointers die with the visit) and scored four children per call
+  // through the batched MBR kernels — bit-equal to the per-rect path.
   struct Branch {
     double min_dist;
     double min_max_dist;
     PageId child;
   };
   std::vector<Branch> branches;
-  double best_min_max = std::numeric_limits<double>::infinity();
+  std::vector<double> bounds;  // lo|hi pairs, 2*dim doubles per child
   bool is_leaf = store_.VisitNode(pid, [&](const EntryView& e, bool leaf) {
     if (leaf) {
       double d = RawMinDistSq(e.lo, e.hi, q, dim);
@@ -501,14 +505,41 @@ void RTreeCore::BranchAndBoundRec(PageId pid, const double* q,
         if (e.aux != nullptr) best->aux.assign(e.aux, e.aux + aux);
       }
     } else {
-      Branch b{RawMinDistSq(e.lo, e.hi, q, dim),
-               RawMinMaxDistSq(e.lo, e.hi, q, dim),
-               static_cast<PageId>(e.id)};
-      best_min_max = std::min(best_min_max, b.min_max_dist);
-      branches.push_back(b);
+      bounds.insert(bounds.end(), e.lo, e.lo + dim);
+      bounds.insert(bounds.end(), e.hi, e.hi + dim);
+      branches.push_back(Branch{0.0, 0.0, static_cast<PageId>(e.id)});
     }
   });
   if (is_leaf) return;
+  double best_min_max = std::numeric_limits<double>::infinity();
+  {
+    const size_t n = branches.size();
+    const double* lo4[4];
+    const double* hi4[4];
+    double dmin[4];
+    double dmax[4];
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      for (size_t t = 0; t < 4; ++t) {
+        lo4[t] = bounds.data() + (j + t) * 2 * dim;
+        hi4[t] = lo4[t] + dim;
+      }
+      kernels::MinDistSqBatch4(lo4, hi4, q, dim, dmin);
+      kernels::MinMaxDistSqBatch4(lo4, hi4, q, dim, dmax);
+      for (size_t t = 0; t < 4; ++t) {
+        branches[j + t].min_dist = dmin[t];
+        branches[j + t].min_max_dist = dmax[t];
+      }
+    }
+    for (; j < n; ++j) {
+      const double* lo = bounds.data() + j * 2 * dim;
+      branches[j].min_dist = RawMinDistSq(lo, lo + dim, q, dim);
+      branches[j].min_max_dist = RawMinMaxDistSq(lo, lo + dim, q, dim);
+    }
+    for (const Branch& b : branches) {
+      best_min_max = std::min(best_min_max, b.min_max_dist);
+    }
+  }
   std::sort(branches.begin(), branches.end(),
             [](const Branch& a, const Branch& b) {
               return a.min_dist < b.min_dist;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/distance.h"
+#include "common/kernels/soa_store.h"
 #include "storage/byte_io.h"
 
 namespace nncell {
@@ -49,6 +50,14 @@ std::vector<SequentialScan::Result> SequentialScan::KnnQuery(const double* q,
   if (k == 0) return best;
   size_t remaining = size_;
   std::vector<double> point(dim_);
+  // Per-page SoA tile: decode the page's records once into blocked lanes,
+  // run one batched distance pass, then walk the results in record order —
+  // identical visit order and bit-identical distances to the old per-record
+  // loop (the batch kernel is bit-equal to the pair kernel), so ties
+  // resolve exactly as before. Page I/O accounting is unchanged.
+  kernels::SoaBlockStore tile(dim_);
+  std::vector<uint64_t> ids;
+  std::vector<double> dist_sq;
   for (PageId page : pages_) {
     // Pinned while decoding: concurrent readers sharing the pool may
     // otherwise evict the frame mid-scan.
@@ -56,15 +65,23 @@ std::vector<SequentialScan::Result> SequentialScan::KnnQuery(const double* q,
     const uint8_t* frame = pool_->Fetch(page);
     size_t records = std::min(remaining, RecordsPerPage());
     ByteReader reader(frame, pool_->page_size());
+    tile.Clear();
+    ids.clear();
     for (size_t r = 0; r < records; ++r) {
       reader.GetDoubles(point.data(), dim_);
-      uint64_t id = reader.Get<uint64_t>();
-      double dist = L2Dist(point.data(), q, dim_);
+      tile.Append(point.data());
+      ids.push_back(reader.Get<uint64_t>());
+    }
+    dist_sq.resize(records);
+    tile.BatchL2DistSq(q, dist_sq.data());
+    for (size_t r = 0; r < records; ++r) {
+      double dist = std::sqrt(dist_sq[r]);
       if (best.size() < k || dist < best.back().dist) {
         Result res;
-        res.id = id;
+        res.id = ids[r];
         res.dist = dist;
-        res.point = point;
+        res.point.resize(dim_);
+        tile.Get(r, res.point.data());
         auto it = std::lower_bound(
             best.begin(), best.end(), dist,
             [](const Result& a, double d) { return a.dist < d; });

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 #include "common/metrics_names.h"
 #include "server/socket_io.h"
 #include "storage/fs_util.h"
@@ -551,6 +552,9 @@ std::string NNCellServer::StatsJson() const {
   out += ",\"connections_open\":" + std::to_string(open);
   out += ",\"draining\":";
   out += draining_.load(std::memory_order_acquire) ? "1" : "0";
+  out += ",\"kernel_dispatch\":\"";
+  out += kernels::ActiveLevelName();
+  out += "\"";
   out += ",\"malformed\":" + std::to_string(malformed());
   out += ",\"queue_depth\":" + std::to_string(depth);
   out += ",\"rejected\":" + std::to_string(rejected());

@@ -1,0 +1,297 @@
+// Kernel-equivalence suite: every op table this build can run (scalar
+// always; AVX2/NEON when compiled in and supported by the CPU) must be
+// bit-identical to the scalar reference on randomized inputs across all
+// dims 1..32, unaligned/padded tails, and NaN/inf edge cases. This is the
+// test that makes the dispatch level unobservable — the differential
+// suite's byte-identity contract rides on it.
+
+#include "common/kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "common/hyper_rect.h"
+#include "common/kernels/soa_store.h"
+#include "common/rng.h"
+
+namespace nncell {
+namespace kernels {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Bitwise comparison: NaN == NaN (same payload), +0 != -0.
+bool BitEqual(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+std::vector<double> RandomVec(Rng& rng, size_t n, double lo = -10.0,
+                              double hi = 10.0) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble(lo, hi);
+  return v;
+}
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelEquivalenceTest, DotMatchesScalarBitExact) {
+  const size_t dim = GetParam();
+  Rng rng(17 * dim + 1);
+  const KernelOps& ref = ScalarOps();
+  for (const KernelOps* ops : AllOpsForTest()) {
+    for (int rep = 0; rep < 20; ++rep) {
+      auto a = RandomVec(rng, dim);
+      auto b = RandomVec(rng, dim);
+      double want = ref.dot(a.data(), b.data(), dim);
+      double got = ops->dot(a.data(), b.data(), dim);
+      EXPECT_TRUE(BitEqual(want, got))
+          << ops->name << " dot d=" << dim << " want " << want << " got "
+          << got;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, MatVecMatchesScalarBitExact) {
+  const size_t dim = GetParam();
+  Rng rng(31 * dim + 2);
+  const KernelOps& ref = ScalarOps();
+  const size_t rows = 13;
+  const size_t stride = PaddedDim(dim);
+  for (const KernelOps* ops : AllOpsForTest()) {
+    auto a = RandomVec(rng, rows * stride);
+    auto x = RandomVec(rng, dim);
+    std::vector<double> want(rows), got(rows);
+    ref.mat_vec(a.data(), rows, dim, stride, x.data(), want.data());
+    ops->mat_vec(a.data(), rows, dim, stride, x.data(), got.data());
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_TRUE(BitEqual(want[r], got[r]))
+          << ops->name << " mat_vec d=" << dim << " row " << r;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, AxpyMatchesScalarBitExact) {
+  const size_t dim = GetParam();
+  Rng rng(43 * dim + 3);
+  const KernelOps& ref = ScalarOps();
+  for (const KernelOps* ops : AllOpsForTest()) {
+    auto x = RandomVec(rng, dim);
+    auto y0 = RandomVec(rng, dim);
+    double alpha = rng.NextDouble(-3.0, 3.0);
+    std::vector<double> want = y0, got = y0;
+    ref.axpy(alpha, x.data(), want.data(), dim);
+    ops->axpy(alpha, x.data(), got.data(), dim);
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_TRUE(BitEqual(want[i], got[i]))
+          << ops->name << " axpy d=" << dim << " i=" << i;
+    }
+  }
+}
+
+// The batched SoA kernel must equal the sequential pair kernel per point —
+// including for sizes that leave a partial tail block.
+TEST_P(KernelEquivalenceTest, L2BatchSoaMatchesPairKernel) {
+  const size_t dim = GetParam();
+  Rng rng(57 * dim + 4);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{7}, size_t{8}, size_t{64}, size_t{65}}) {
+    SoaBlockStore store(dim);
+    std::vector<std::vector<double>> pts;
+    for (size_t j = 0; j < n; ++j) {
+      pts.push_back(RandomVec(rng, dim));
+      store.Append(pts.back().data());
+    }
+    auto q = RandomVec(rng, dim);
+    for (const KernelOps* ops : AllOpsForTest()) {
+      std::vector<double> out(n, -1.0);
+      ops->l2_batch_soa(q.data(), store.blocks(), n, dim, out.data());
+      for (size_t j = 0; j < n; ++j) {
+        double want = L2DistSqPair(pts[j].data(), q.data(), dim);
+        EXPECT_TRUE(BitEqual(want, out[j]))
+            << ops->name << " l2_batch_soa d=" << dim << " n=" << n
+            << " j=" << j;
+      }
+    }
+    // Round-trip: the store must hand back exactly what went in.
+    std::vector<double> back(dim);
+    store.Get(n - 1, back.data());
+    EXPECT_EQ(back, pts[n - 1]);
+  }
+}
+
+TEST_P(KernelEquivalenceTest, L2Batch4MatchesPairKernel) {
+  const size_t dim = GetParam();
+  Rng rng(71 * dim + 5);
+  auto q = RandomVec(rng, dim);
+  std::vector<std::vector<double>> pts;
+  const double* ptrs[4];
+  for (int j = 0; j < 4; ++j) {
+    pts.push_back(RandomVec(rng, dim));
+    ptrs[j] = pts.back().data();
+  }
+  for (const KernelOps* ops : AllOpsForTest()) {
+    double out[4];
+    ops->l2_batch4(q.data(), ptrs, dim, out);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_TRUE(BitEqual(L2DistSqPair(ptrs[j], q.data(), dim), out[j]))
+          << ops->name << " l2_batch4 d=" << dim << " j=" << j;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, MinDistAndMinMaxDistMatchReference) {
+  const size_t dim = GetParam();
+  Rng rng(83 * dim + 6);
+  std::vector<std::vector<double>> los, his;
+  const double* lo_ptrs[4];
+  const double* hi_ptrs[4];
+  for (int j = 0; j < 4; ++j) {
+    auto a = RandomVec(rng, dim);
+    auto b = RandomVec(rng, dim);
+    std::vector<double> lo(dim), hi(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      lo[i] = std::min(a[i], b[i]);
+      hi[i] = std::max(a[i], b[i]);
+    }
+    los.push_back(std::move(lo));
+    his.push_back(std::move(hi));
+    lo_ptrs[j] = los.back().data();
+    hi_ptrs[j] = his.back().data();
+  }
+  // Query points inside, outside, and on the boundary of rect 0.
+  for (int rep = 0; rep < 8; ++rep) {
+    std::vector<double> p = RandomVec(rng, dim, -12.0, 12.0);
+    if (rep == 7) p.assign(los[0].begin(), los[0].end());  // on a corner
+    for (const KernelOps* ops : AllOpsForTest()) {
+      double out_min[4], out_minmax[4];
+      ops->min_dist_batch4(lo_ptrs, hi_ptrs, p.data(), dim, out_min);
+      ops->min_max_dist_batch4(lo_ptrs, hi_ptrs, p.data(), dim, out_minmax);
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_TRUE(BitEqual(
+            MinDistSqRef(lo_ptrs[j], hi_ptrs[j], p.data(), dim), out_min[j]))
+            << ops->name << " min_dist d=" << dim << " j=" << j;
+        EXPECT_TRUE(BitEqual(
+            MinMaxDistSqRef(lo_ptrs[j], hi_ptrs[j], p.data(), dim),
+            out_minmax[j]))
+            << ops->name << " min_max_dist d=" << dim << " j=" << j;
+      }
+    }
+  }
+}
+
+// NaN and infinity must propagate identically on every dispatch level.
+TEST_P(KernelEquivalenceTest, NanInfPropagation) {
+  const size_t dim = GetParam();
+  Rng rng(97 * dim + 7);
+  const KernelOps& ref = ScalarOps();
+  for (double special : {kNan, kInf, -kInf}) {
+    auto a = RandomVec(rng, dim);
+    auto b = RandomVec(rng, dim);
+    a[dim / 2] = special;
+    double want = ref.dot(a.data(), b.data(), dim);
+    SoaBlockStore store(dim);
+    for (int j = 0; j < 5; ++j) store.Append(j == 2 ? a.data() : b.data());
+    for (const KernelOps* ops : AllOpsForTest()) {
+      EXPECT_TRUE(BitEqual(want, ops->dot(a.data(), b.data(), dim)))
+          << ops->name << " dot special=" << special << " d=" << dim;
+      std::vector<double> out(5);
+      ops->l2_batch_soa(b.data(), store.blocks(), 5, dim, out.data());
+      for (int j = 0; j < 5; ++j) {
+        double pw = L2DistSqPair(j == 2 ? a.data() : b.data(), b.data(), dim);
+        EXPECT_TRUE(BitEqual(pw, out[j]))
+            << ops->name << " batch special=" << special << " j=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, KernelEquivalenceTest,
+                         ::testing::Range(size_t{1}, size_t{33}));
+
+// The scalar reference itself must agree with the legacy open-coded forms
+// it replaced (same add order): the distance.h pair loop and the branchy
+// MINDIST/MINMAXDIST in hyper_rect.
+TEST(KernelReferenceTest, MatchesLegacySemantics) {
+  Rng rng(123);
+  for (size_t dim : {1, 2, 3, 7, 8, 16, 31}) {
+    for (int rep = 0; rep < 50; ++rep) {
+      auto a = RandomVec(rng, dim);
+      auto b = RandomVec(rng, dim);
+      double s = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+      }
+      EXPECT_TRUE(BitEqual(s, L2DistSqPair(a.data(), b.data(), dim)));
+      EXPECT_TRUE(BitEqual(s, L2DistSq(a.data(), b.data(), dim)));
+
+      std::vector<double> lo(dim), hi(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        lo[i] = std::min(a[i], b[i]);
+        hi[i] = std::max(a[i], b[i]);
+      }
+      auto p = RandomVec(rng, dim, -12.0, 12.0);
+      double branchy = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        double d = 0.0;
+        if (p[i] < lo[i]) {
+          d = lo[i] - p[i];
+        } else if (p[i] > hi[i]) {
+          d = p[i] - hi[i];
+        }
+        branchy += d * d;
+      }
+      EXPECT_TRUE(
+          BitEqual(branchy, MinDistSqRef(lo.data(), hi.data(), p.data(), dim)))
+          << "d=" << dim;
+      HyperRect rect(lo, hi);
+      EXPECT_TRUE(BitEqual(rect.MinDistSq(p.data()),
+                           MinDistSqRef(lo.data(), hi.data(), p.data(), dim)));
+      EXPECT_TRUE(BitEqual(
+          rect.MinMaxDistSq(p.data()),
+          MinMaxDistSqRef(lo.data(), hi.data(), p.data(), dim)));
+    }
+  }
+}
+
+TEST(KernelDispatchTest, TablesAreConsistent) {
+  // Whatever the environment picked, the active table must be one of the
+  // runnable tables and the level/name/reason must agree.
+  const KernelOps& active = Ops();
+  bool found = false;
+  for (const KernelOps* ops : AllOpsForTest()) {
+    if (ops == &active) found = true;
+  }
+  EXPECT_TRUE(found) << "active table " << active.name << " not runnable?";
+  EXPECT_STREQ(active.name, ActiveLevelName());
+  const char* env = std::getenv("NNCELL_SIMD");
+  if (env != nullptr &&
+      (std::string(env) == "scalar" || std::string(env) == "off")) {
+    EXPECT_EQ(ActiveLevel(), SimdLevel::kScalar);
+    EXPECT_STREQ(DispatchReason(), "env");
+  }
+  SCOPED_TRACE(std::string("dispatch: ") + ActiveLevelName() + " (" +
+               DispatchReason() + ")");
+}
+
+TEST(KernelDispatchTest, PaddedDimRoundsUp) {
+  EXPECT_EQ(PaddedDim(0), 0u);
+  EXPECT_EQ(PaddedDim(1), 4u);
+  EXPECT_EQ(PaddedDim(4), 4u);
+  EXPECT_EQ(PaddedDim(5), 8u);
+  EXPECT_EQ(PaddedDim(16), 16u);
+  EXPECT_EQ(PaddedDim(17), 20u);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace nncell

@@ -1,0 +1,18 @@
+// Fixture: open-coded distance and dot loops that must go through the
+// kernel layer.
+#include <cstddef>
+
+double DotLoop(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double DistLoop(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}

@@ -1,0 +1,34 @@
+// Fixture: distance work routed through the kernel layer, plus the
+// shapes the check must NOT flag (scalar-by-indexed products, `-=`
+// updates, annotated exceptions).
+#include <cstddef>
+
+namespace kernels {
+double Dot(const double* a, const double* b, size_t n);
+double L2DistSqPair(const double* a, const double* b, size_t n);
+}  // namespace kernels
+
+double DotKernel(const double* a, const double* b, size_t n) {
+  return kernels::Dot(a, b, n);
+}
+
+double DistKernel(const double* a, const double* b, size_t n) {
+  return kernels::L2DistSqPair(a, b, n);
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  // Scalar-by-indexed product: one indexed factor only, never flagged.
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Project(const double* bq, double proj, double* v, size_t n) {
+  // `-=` updates (MGS projections) stay out of scope.
+  for (size_t i = 0; i < n; ++i) v[i] -= proj * bq[i];
+}
+
+double Annotated(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  // nncell-lint: allow(scalar-distance-loop) d=1 edge case, not a hot loop
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# SIMD kernel bench harness driver.
+#
+#   tools/bench_simd.sh [--quick] [--update] [--build-dir DIR]
+#
+# Runs bench/bench_simd (building it first), then either gates the fresh
+# deterministic counters against the committed BENCH_simd.json (default;
+# checksums and eval counts must match bit-for-bit) or rewrites the
+# baseline (--update, full mode only). --quick runs fewer timing reps --
+# the counted pass is identical, so quick runs gate against the full
+# baseline. The binary itself fails when the dispatched table diverges
+# from scalar, so a run on AVX2 hardware doubles as a bit-equality check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+UPDATE=0
+BUILD_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --update) UPDATE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    *) echo "usage: $0 [--quick] [--update] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for d in build-dev build; do
+    if [[ -d "$d" ]]; then BUILD_DIR="$d"; break; fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -d "$BUILD_DIR" ]]; then
+  echo "no build directory found (configure with: cmake --preset dev)" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target bench_simd
+
+OUT="$BUILD_DIR/bench_simd_current.json"
+ARGS=()
+if [[ "$QUICK" == 1 ]]; then ARGS+=(--quick); fi
+"$BUILD_DIR/bench/bench_simd" "${ARGS[@]}" "--out=$OUT"
+
+if [[ "$UPDATE" == 1 ]]; then
+  if [[ "$QUICK" == 1 ]]; then
+    echo "--update requires a full run (reps affect the recorded wall times)" >&2
+    exit 2
+  fi
+  cp "$OUT" BENCH_simd.json
+  echo "BENCH_simd.json updated"
+  exit 0
+fi
+
+python3 tools/bench_simd_diff.py BENCH_simd.json "$OUT"

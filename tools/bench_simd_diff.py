@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate a bench_simd run against the committed BENCH_simd.json baseline.
+
+Compares by config name using only the deterministic counters: the bit-fold
+checksum of every computed double and the evaluation count, both a pure
+function of dim/n/seed under the kernel FP-determinism contract
+(docs/KERNELS.md) -- any single-ulp drift on any dispatch level flips the
+checksum. Wall-clock and the speedup headline never gate; they vary with
+the machine and are reported for the human reader only.
+
+Exits 0 when every compared config matches exactly, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, {c["name"]: c for c in doc["configs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_simd.json")
+    ap.add_argument("current", help="freshly produced bench_simd output")
+    args = ap.parse_args()
+
+    base_doc, committed = load(args.baseline)
+    cur_doc, current = load(args.current)
+
+    print(f"dispatch: {cur_doc.get('dispatch')} "
+          f"({cur_doc.get('dispatch_reason')}), "
+          f"baseline recorded {base_doc.get('dispatch')}")
+
+    compared = 0
+    failures = []
+    for name, cur in sorted(current.items()):
+        ref = committed.get(name)
+        if ref is None:
+            print(f"  {name}: not in committed baseline, skipped")
+            continue
+        compared += 1
+        status = "ok"
+        if cur["checksum"] != ref["checksum"]:
+            status = "CHECKSUM DRIFT"
+            failures.append(
+                f"{name}: checksum {cur['checksum']} != committed "
+                f"{ref['checksum']} (kernel output changed bit-for-bit)")
+        if cur["evals"] != ref["evals"]:
+            status = "EVAL COUNT DRIFT"
+            failures.append(
+                f"{name}: evals {cur['evals']} != committed {ref['evals']}")
+        print(f"  {name}: checksum {cur['checksum']} evals {cur['evals']} "
+              f"speedup {cur.get('wall_speedup', 0):.2f}x [{status}]")
+
+    if compared == 0:
+        print("no overlapping configs between baseline and current run")
+        return 1
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nOK: {compared} config(s) bit-identical to baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

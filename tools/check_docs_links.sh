@@ -18,6 +18,10 @@
 #  5. docs/STATIC_ANALYSIS.md's lint-check table and
 #     `tools/nncell_lint.py --list-checks` must agree exactly: every
 #     registered check is documented and every documented check exists.
+#  6. docs/KERNELS.md and src/common/kernels/kernels.h must agree: every
+#     layout constant in the kernel header (`kLaneWidth = 4`) is
+#     documented with its exact value, and every constant the document
+#     names still exists in the kernel headers.
 #
 # Usage: check_docs_links.sh [repo-root]
 
@@ -232,11 +236,52 @@ else
   echo "note: python3 not found; skipping lint-check table drift check"
 fi
 
+# --- 6. KERNELS.md <-> kernels.h -------------------------------------------
+
+kern_header="src/common/kernels/kernels.h"
+kern_doc="docs/KERNELS.md"
+
+for required in "$kern_header" "$kern_doc"; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING FILE: $required"
+    exit 1
+  fi
+done
+
+# Forward: every `kName = value` layout constant in the kernel header must
+# appear in the document with its exact value.
+kern_doc_flat=$(tr -d '`' < "$kern_doc")
+n_kern_consts=0
+while read -r name value; do
+  [ -z "$name" ] && continue
+  n_kern_consts=$((n_kern_consts + 1))
+  value=$(printf '%s' "$value" | sed -E 's/U?L?L?$//')
+  if ! printf '%s' "$kern_doc_flat" | grep -qF "$name = $value"; then
+    echo "KERNEL CONSTANT DRIFT: $kern_doc must state \"$name = $value\"" \
+         "(from $kern_header)"
+    fail=1
+  fi
+done <<EOF
+$(sed -nE 's/^inline constexpr [A-Za-z0-9_]+ (k[A-Za-z0-9]+)(\[\])? = ([^;]+);.*/\1 \3/p' "$kern_header")
+EOF
+
+# Reverse: every backticked kConstant the document names must still be
+# defined in the kernel headers.
+kern_doc_consts=$(grep -oE '`k[A-Z][A-Za-z0-9]*`' "$kern_doc" \
+                  | tr -d '`' | sort -u)
+for c in $kern_doc_consts; do
+  if ! grep -qE "\b$c\b" "$kern_header" "src/common/kernels/soa_store.h"; then
+    echo "STALE DOC CONSTANT: $c (in $kern_doc, not defined in" \
+         "$kern_header or soa_store.h)"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   n_links=$(printf '%s\n' "$md_files" | wc -l | tr -d ' ')
   n_names=$(printf '%s\n' "$src_names" | wc -l | tr -d ' ')
   echo "docs check OK: $n_links markdown files, $n_names metrics," \
        "$n_consts format constants, $n_wire_consts wire constants," \
-       "$n_lint_checks lint checks in sync"
+       "$n_lint_checks lint checks, $n_kern_consts kernel constants in sync"
 fi
 exit "$fail"

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "common/kernels/kernels.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -382,13 +383,14 @@ int Stats(int argc, char** argv) {
   std::snprintf(
       buf, sizeof(buf),
       "\"algorithm\":\"%s\",\"dim\":%zu,\"expected_candidates\":%.4f,"
-      "\"lp_sample\":%zu,\"points\":%zu,\"probe_queries\":%zu,"
-      "\"tree_height\":%zu,\"tree_leaves\":%zu,\"tree_nodes\":%zu,"
-      "\"tree_pages\":%zu,\"tree_supernodes\":%zu,\"validation\":\"%s\"",
+      "\"kernel_dispatch\":\"%s\",\"lp_sample\":%zu,\"points\":%zu,"
+      "\"probe_queries\":%zu,\"tree_height\":%zu,\"tree_leaves\":%zu,"
+      "\"tree_nodes\":%zu,\"tree_pages\":%zu,\"tree_supernodes\":%zu,"
+      "\"validation\":\"%s\"",
       ApproxAlgorithmName(index->options().algorithm), index->dim(),
-      index->ExpectedCandidates(), lp_sample, index->size(),
-      probe_queries, info.height, info.num_leaves, info.num_nodes,
-      info.total_pages, info.num_supernodes,
+      index->ExpectedCandidates(), kernels::ActiveLevelName(), lp_sample,
+      index->size(), probe_queries, info.height, info.num_leaves,
+      info.num_nodes, info.total_pages, info.num_supernodes,
       index->ValidateTree().empty() ? "OK" : "FAILED");
   out += buf;
   out += "},\"metrics\":";

@@ -313,6 +313,53 @@ def check_wal_format_drift(root, files, emit):
                      "contract moved without updating this check"))
 
 
+INDEXED = r"[A-Za-z_][A-Za-z0-9_]*(?:(?:\.|->)[A-Za-z_][A-Za-z0-9_]*)*\s*\[[^\]]+\]"
+ACCUM_PRODUCT_RE = re.compile(
+    r"\+=\s*%s\s*\*\s*%s" % (INDEXED, INDEXED))
+DIFF_ASSIGN_RE = re.compile(
+    r"(?:^|[^=!<>+\-*/%%&|^])=\s*(?:%s)\s*-\s*(?:%s)\s*;" % (INDEXED, INDEXED))
+DIFF_VAR_RE = re.compile(
+    r"\b(?:double|float|auto)?\s*([A-Za-z_][A-Za-z0-9_]*)\s*=\s*" + INDEXED)
+SQUARE_ACCUM_RE_TMPL = r"\+=\s*%s\s*\*\s*%s"
+
+
+@check("scalar-distance-loop",
+       "open-coded distance/dot accumulation outside src/common/kernels "
+       "(`s += a[i] * b[i]` or `d = a[i] - b[i]; s += d * d`); route the "
+       "loop through the dispatched kernel layer (common/kernels/kernels.h)")
+def check_scalar_distance_loop(root, files, emit):
+    report = suppressible("scalar-distance-loop")
+    lookahead = 3  # lines between the difference and its squared accumulation
+    for path, rel in files:
+        if not rel.startswith("src/") or rel.startswith("src/common/kernels/"):
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if ACCUM_PRODUCT_RE.search(code):
+                report(emit, lines, i, rel,
+                       "accumulating a product of two indexed factors; use "
+                       "kernels::Dot / MatVec (blocked, dispatched) instead "
+                       "of an open-coded dot loop")
+                continue
+            # Two-line distance idiom: `d = a[i] - b[i];` then `s += d * d`
+            # within a few lines.
+            if not DIFF_ASSIGN_RE.search(code):
+                continue
+            mv = DIFF_VAR_RE.search(code)
+            if not mv:
+                continue
+            var = re.escape(mv.group(1))
+            square_re = re.compile(SQUARE_ACCUM_RE_TMPL % (var, var))
+            window = lines[i:i + 1 + lookahead]
+            if any(square_re.search(strip_comments_and_strings(w))
+                   for w in window):
+                report(emit, lines, i, rel,
+                       "open-coded squared-difference accumulation; use "
+                       "kernels::L2DistSqPair or a batched distance kernel "
+                       "(common/kernels/kernels.h)")
+
+
 @check("tsa-escape",
        "NNCELL_NO_THREAD_SAFETY_ANALYSIS is banned in annotated modules "
        "(src/common, src/storage, src/nncell); restructure instead "
