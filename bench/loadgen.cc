@@ -2,7 +2,7 @@
 //
 //   loadgen --socket=PATH [--tcp-port=N] [--connections=N] [--ops=N]
 //           [--qps=R] [--mix=Q:I:D] [--preload=N] [--zipf=THETA]
-//           [--seed=S] [--label=STR]
+//           [--seed=S] [--label=STR] [--shards=K]
 //
 // Drives the wire protocol of docs/SERVING.md over N concurrent
 // connections and prints one JSON object with per-type counts, the
@@ -62,6 +62,11 @@ struct Config {
   double zipf_theta = 0.99;
   uint64_t seed = 42;
   std::string label = "loadgen";
+  // Shard count of the server under test. Sharding is entirely server-side
+  // (the wire protocol is identical); this is recorded in the output's
+  // config object so sharded bench runs are self-describing
+  // (tools/bench_shard.sh sweeps it).
+  size_t shards = 0;
 };
 
 // Gray et al. zipfian rank generator over [0, n); theta in [0, 1).
@@ -101,7 +106,12 @@ struct WorkerStats {
   uint64_t queries = 0;
   uint64_t inserts = 0;
   uint64_t deletes = 0;
-  uint64_t checksum = 0;   // integer-field hash of query responses
+  uint64_t checksum = 0;     // integer-field hash of query responses
+  // Hash over result ids alone. Candidate counts legitimately differ
+  // between shard counts (a scatter-gather query sums the probed shards'
+  // candidate sets), ids never do -- tools/bench_shard.sh gates on this
+  // being identical across its whole K sweep.
+  uint64_t id_checksum = 0;
   std::vector<uint64_t> lat_us;
 };
 
@@ -177,6 +187,8 @@ void Worker(const Config& cfg, size_t worker_id, size_t ops,
       if (r.ok()) {
         stats->checksum = stats->checksum * 0x9e3779b97f4a7c15ULL +
                           (r->id + 1) * 31 + r->candidates;
+        stats->id_checksum =
+            stats->id_checksum * 0x9e3779b97f4a7c15ULL + (r->id + 1);
       }
     }
 
@@ -253,6 +265,9 @@ int main(int argc, char** argv) {
     cfg.seed = std::strtoull(v, nullptr, 10);
   }
   if (const char* v = FlagValue(argc, argv, "--label")) cfg.label = v;
+  if (const char* v = FlagValue(argc, argv, "--shards")) {
+    cfg.shards = std::strtoul(v, nullptr, 10);
+  }
   bool stats_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) stats_only = true;
@@ -262,7 +277,7 @@ int main(int argc, char** argv) {
                  "usage: loadgen --socket=PATH [--tcp-port=N]"
                  " [--connections=N] [--ops=N] [--qps=R] [--mix=Q:I:D]"
                  " [--preload=N] [--dim=N] [--zipf=THETA] [--seed=S]"
-                 " [--label=STR] [--stats]\n");
+                 " [--label=STR] [--shards=K] [--stats]\n");
     return 2;
   }
   if (stats_only) {
@@ -351,6 +366,7 @@ int main(int argc, char** argv) {
     // XOR-fold per-connection checksums: commutative, so the aggregate is
     // independent of thread completion order.
     total.checksum ^= s.checksum;
+    total.id_checksum ^= s.id_checksum;
     lat.insert(lat.end(), s.lat_us.begin(), s.lat_us.end());
   }
   std::sort(lat.begin(), lat.end());
@@ -358,9 +374,10 @@ int main(int argc, char** argv) {
   std::printf(
       "{\"label\":\"%s\",\"config\":{\"connections\":%zu,\"mix\":\"%llu:%llu:"
       "%llu\",\"ops\":%zu,\"preload\":%zu,\"qps\":%.1f,\"seed\":%llu,"
-      "\"zipf\":%.3f},"
+      "\"shards\":%zu,\"zipf\":%.3f},"
       "\"results\":{\"checksum\":%llu,\"deletes\":%llu,\"elapsed_s\":%.3f,"
-      "\"errors\":%llu,\"inserts\":%llu,\"latency_us\":{\"p50\":%llu,"
+      "\"errors\":%llu,\"id_checksum\":%llu,\"inserts\":%llu,"
+      "\"latency_us\":{\"p50\":%llu,"
       "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu},\"ok\":%llu,"
       "\"queries\":%llu,\"rejected\":%llu,\"sent\":%llu,"
       "\"throughput_ops_s\":%.1f}}\n",
@@ -369,9 +386,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cfg.weight_insert),
       static_cast<unsigned long long>(cfg.weight_delete), cfg.ops,
       cfg.preload, cfg.qps, static_cast<unsigned long long>(cfg.seed),
-      cfg.zipf_theta, static_cast<unsigned long long>(total.checksum),
+      cfg.shards, cfg.zipf_theta,
+      static_cast<unsigned long long>(total.checksum),
       static_cast<unsigned long long>(total.deletes), elapsed_s,
       static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(total.id_checksum),
       static_cast<unsigned long long>(total.inserts),
       static_cast<unsigned long long>(Percentile(lat, 0.50)),
       static_cast<unsigned long long>(Percentile(lat, 0.90)),

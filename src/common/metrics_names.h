@@ -91,6 +91,18 @@ inline constexpr char kServerQueueDepth[] = "server.queue.depth";
 inline constexpr char kServerLatencyQueryUs[] = "server.latency.query_us";
 inline constexpr char kServerLatencyWriteUs[] = "server.latency.write_us";
 
+// --- shard (sharded multi-index / scatter-gather layer) --------------------
+inline constexpr char kShardCount[] = "shard.count";
+inline constexpr char kShardEpoch[] = "shard.epoch";
+inline constexpr char kShardQueryFanout[] = "shard.query.fanout";
+inline constexpr char kShardQueryProbes[] = "shard.query.probes";
+inline constexpr char kShardQueryPruned[] = "shard.query.pruned";
+inline constexpr char kShardRebalanceEvents[] = "shard.rebalance.events";
+inline constexpr char kShardRebalanceMovedPoints[] =
+    "shard.rebalance.moved_points";
+inline constexpr char kShardRecoveryDegraded[] =
+    "shard.recovery.degraded_shards";
+
 // The registry registers exactly this set at construction, so a snapshot
 // always covers every metric (zeros included) and is deterministic.
 inline constexpr MetricDef kMetricDefs[] = {
@@ -192,6 +204,22 @@ inline constexpr MetricDef kMetricDefs[] = {
      "enqueue-to-response latency of QUERY/QUERY_BATCH requests"},
     {kServerLatencyWriteUs, Kind::kHistogram, "microseconds",
      "enqueue-to-response latency of INSERT/DELETE/CHECKPOINT requests"},
+    {kShardCount, Kind::kGauge, "shards",
+     "shards of the most recently opened sharded index"},
+    {kShardEpoch, Kind::kGauge, "epoch",
+     "routing-manifest epoch of the most recently opened sharded index"},
+    {kShardQueryFanout, Kind::kHistogram, "shards",
+     "distribution of shards probed per scatter-gather query"},
+    {kShardQueryProbes, Kind::kCounter, "probes",
+     "per-shard queries issued by the scatter-gather layer"},
+    {kShardQueryPruned, Kind::kCounter, "shards",
+     "shards skipped by the slab-distance bound during scatter-gather"},
+    {kShardRebalanceEvents, Kind::kCounter, "rebalances",
+     "rebalance epochs installed (online or explicit)"},
+    {kShardRebalanceMovedPoints, Kind::kCounter, "points",
+     "live points re-partitioned by installed rebalances"},
+    {kShardRecoveryDegraded, Kind::kCounter, "shards",
+     "shards that failed to open or reconcile and were degraded"},
 };
 
 inline constexpr size_t kNumMetricDefs =

@@ -237,6 +237,12 @@ std::vector<double> NNCellIndex::FromMetricSpace(
   return y;
 }
 
+std::vector<double> NNCellIndex::OriginalPoint(uint64_t id) const {
+  NNCELL_CHECK(id < points_.size());
+  const double* p = points_[id];
+  return FromMetricSpace(std::vector<double>(p, p + dim_));
+}
+
 StatusOr<uint64_t> NNCellIndex::RegisterPoint(
     const std::vector<double>& original, bool insert_into_point_tree) {
   if (original.size() != dim_) {

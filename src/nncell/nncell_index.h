@@ -152,6 +152,12 @@ class NNCellIndex {
     return id < alive_.size() && alive_[id];
   }
 
+  // The point's coordinates in the *original* (pre-weight-isometry) space,
+  // exactly as they were passed to Insert/BulkBuild. Used by callers that
+  // re-partition points (the sharded rebalance) and by anything that must
+  // round-trip a point through the public API.
+  std::vector<double> OriginalPoint(uint64_t id) const;
+
   struct QueryResult {
     uint64_t id = 0;              // index of the nearest neighbor
     double dist = 0.0;            // Euclidean distance

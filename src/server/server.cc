@@ -32,11 +32,41 @@ bool IsQueryType(uint8_t type) {
   return type == kReqQuery || type == kReqQueryBatch;
 }
 
+// The built-in backend over a plain NNCellIndex (the sharded one lives
+// with the daemon that links the shard layer).
+class PlainIndexBackend : public IndexBackend {
+ public:
+  explicit PlainIndexBackend(NNCellIndex* index) : index_(index) {
+    NNCELL_CHECK(index_ != nullptr);
+  }
+  size_t dim() const override { return index_->dim(); }
+  bool durable() const override { return index_->durable(); }
+  StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
+      const PointSet& queries) const override {
+    return index_->QueryBatch(queries);
+  }
+  StatusOr<uint64_t> Insert(const std::vector<double>& point) override {
+    return index_->Insert(point);
+  }
+  Status Delete(uint64_t id) override { return index_->Delete(id); }
+  Status Checkpoint() override { return index_->Checkpoint(); }
+
+ private:
+  NNCellIndex* const index_;
+};
+
 }  // namespace
 
 NNCellServer::NNCellServer(NNCellIndex* index, ServerOptions options)
-    : index_(index), options_(std::move(options)) {
-  NNCELL_CHECK(index_ != nullptr);
+    // nncell-lint: allow(naked-new) delegation needs the raw pointer; the body takes ownership into owned_backend_ before anything can fail
+    : NNCellServer(static_cast<IndexBackend*>(new PlainIndexBackend(index)),
+                   std::move(options)) {
+  owned_backend_.reset(backend_);
+}
+
+NNCellServer::NNCellServer(IndexBackend* backend, ServerOptions options)
+    : backend_(backend), options_(std::move(options)) {
+  NNCELL_CHECK(backend_ != nullptr);
   NNCELL_CHECK(options_.max_queue > 0);
   NNCELL_CHECK(options_.max_batch > 0);
   metrics::Registry& reg = metrics::Registry::Global();
@@ -138,7 +168,7 @@ Status NNCellServer::Stop() {
   }
 
   // 5. Make the served state durable before the process goes away.
-  if (index_->durable()) return index_->Checkpoint();
+  if (backend_->durable()) return backend_->Checkpoint();
   return Status::OK();
 }
 
@@ -338,7 +368,7 @@ void NNCellServer::ExecuteQueryRun(std::vector<WorkItem>& run) {
     size_t count = 0;  // 0 = decode failed, response already sent
   };
   std::vector<Decoded> decoded(run.size());
-  PointSet batch(index_->dim());
+  PointSet batch(backend_->dim());
   for (size_t i = 0; i < run.size(); ++i) {
     const WorkItem& item = run[i];
     const uint8_t resp_type = static_cast<uint8_t>(item.type | kRespBit);
@@ -361,11 +391,11 @@ void NNCellServer::ExecuteQueryRun(std::vector<WorkItem>& run) {
                     st.message());
       continue;
     }
-    if (dim != index_->dim()) {
+    if (dim != backend_->dim()) {
       Count(completed_, m_completed_);
       RespondStatus(item.conn, resp_type, item.request_id, kStatusError,
                     "dimension mismatch: got " + std::to_string(dim) +
-                        ", index is " + std::to_string(index_->dim()));
+                        ", index is " + std::to_string(backend_->dim()));
       continue;
     }
     decoded[i].first = batch.size();
@@ -380,7 +410,7 @@ void NNCellServer::ExecuteQueryRun(std::vector<WorkItem>& run) {
   if (batch.size() > 0) {
     NNCELL_METRIC_COUNT(m_batches_, 1);
     NNCELL_METRIC_RECORD(m_batch_size_, batch.size());
-    auto r = index_->QueryBatch(batch);
+    auto r = backend_->QueryBatch(batch);
     if (r.ok()) {
       results = std::move(*r);
     } else {
@@ -427,7 +457,7 @@ void NNCellServer::ExecuteItem(const WorkItem& item) {
         EncodeStatusPayload(kStatusMalformed, st.message(), &payload);
         break;
       }
-      auto id = index_->Insert(point);
+      auto id = backend_->Insert(point);
       if (id.ok()) {
         EncodeInsertResultPayload(*id, &payload);
       } else {
@@ -442,7 +472,7 @@ void NNCellServer::ExecuteItem(const WorkItem& item) {
         EncodeStatusPayload(kStatusMalformed, st.message(), &payload);
         break;
       }
-      st = index_->Delete(id);
+      st = backend_->Delete(id);
       if (st.ok()) {
         EncodeStatusPayload(kStatusOk, "", &payload);
       } else {
@@ -461,11 +491,11 @@ void NNCellServer::ExecuteItem(const WorkItem& item) {
       RecordLatency(item);
       return;
     case kReqCheckpoint: {
-      if (!index_->durable()) {
+      if (!backend_->durable()) {
         EncodeStatusPayload(kStatusError, "index is not durable", &payload);
         break;
       }
-      Status st = index_->Checkpoint();
+      Status st = backend_->Checkpoint();
       if (st.ok()) {
         EncodeStatusPayload(kStatusOk, "", &payload);
       } else {
@@ -558,7 +588,13 @@ std::string NNCellServer::StatsJson() const {
   out += ",\"malformed\":" + std::to_string(malformed());
   out += ",\"queue_depth\":" + std::to_string(depth);
   out += ",\"rejected\":" + std::to_string(rejected());
-  out += "},\"metrics\":";
+  out += "}";
+  std::string shard = backend_->ShardStatsJson();
+  if (!shard.empty()) {
+    out += ",\"shard\":";
+    out += shard;
+  }
+  out += ",\"metrics\":";
   out += metrics::Registry::Global().SnapshotJson();
   out += "}";
   return out;

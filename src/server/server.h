@@ -38,6 +38,28 @@ struct ServerOptions {
   int listen_backlog = 64;
 };
 
+// The index operations the server dispatcher needs, so one server can
+// front either a plain NNCellIndex or a sharded one (the daemon in
+// tools/nncell_server.cc provides the ShardedIndex adapter; the server
+// library itself stays independent of the shard layer). Implementations
+// forward to an index the caller keeps alive; thread-safety contract is
+// the index's own (QueryBatch concurrent-safe, mutations called only from
+// the single dispatcher thread).
+class IndexBackend {
+ public:
+  virtual ~IndexBackend() = default;
+  virtual size_t dim() const = 0;
+  virtual bool durable() const = 0;
+  virtual StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
+      const PointSet& queries) const = 0;
+  virtual StatusOr<uint64_t> Insert(const std::vector<double>& point) = 0;
+  virtual Status Delete(uint64_t id) = 0;
+  virtual Status Checkpoint() = 0;
+  // The "shard" object of STATS_JSON, or empty for a plain index (the
+  // key is omitted entirely so the unsharded schema is unchanged).
+  virtual std::string ShardStatsJson() const { return std::string(); }
+};
+
 // A long-running query service wrapping one NNCellIndex: concurrent
 // connections (one reader thread each) feed a bounded admission queue,
 // and a single dispatcher thread executes requests in global arrival
@@ -65,8 +87,12 @@ struct ServerOptions {
 class NNCellServer {
  public:
   // Borrows `index`; the caller keeps it alive and does not touch it
-  // between Start() and Stop().
+  // between Start() and Stop(). Wraps it in the built-in plain-index
+  // backend.
   NNCellServer(NNCellIndex* index, ServerOptions options);
+  // Borrows `backend` under the same contract (sharded daemons pass an
+  // IndexBackend over a ShardedIndex).
+  NNCellServer(IndexBackend* backend, ServerOptions options);
   ~NNCellServer();
 
   NNCellServer(const NNCellServer&) = delete;
@@ -92,7 +118,9 @@ class NNCellServer {
   uint64_t malformed() const { return malformed_.load(); }
 
   // The STATS_JSON response body; schema-stable:
-  // {"server":{...fixed keys...},"metrics":{...full registry snapshot...}}.
+  // {"server":{...fixed keys...},"metrics":{...full registry snapshot...}},
+  // with a "shard" object between the two when the backend is sharded
+  // (docs/SERVING.md, docs/SHARDING.md).
   std::string StatsJson() const;
 
  private:
@@ -146,7 +174,10 @@ class NNCellServer {
   // Bumps one conservation counter and its registry twin.
   void Count(std::atomic<uint64_t>& counter, metrics::Counter* metric);
 
-  NNCellIndex* const index_;
+  // Set only by the NNCellIndex constructor (which owns the wrapper);
+  // `backend_` is what the dispatcher talks to either way.
+  std::unique_ptr<IndexBackend> owned_backend_;
+  IndexBackend* backend_;
   const ServerOptions options_;
 
   std::atomic<bool> running_{false};

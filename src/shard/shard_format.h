@@ -1,0 +1,64 @@
+#ifndef NNCELL_SHARD_SHARD_FORMAT_H_
+#define NNCELL_SHARD_SHARD_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Single source of truth for every constant of the sharded-index on-disk
+// format: the shard manifest (spatial routing table), the router snapshot
+// (global-id |-> (shard, local-id) map) and the router log records that
+// journal that map between snapshots. docs/SHARDING.md documents the
+// byte-level layouts, and tools/check_docs_links.sh cross-checks every
+// constant name and value in this header against that document in both
+// directions, so the format documentation cannot drift from the code.
+//
+// Magic values spell an ASCII tag when the u64 is read big-endian
+// (on-disk, little-endian, the bytes appear reversed).
+
+namespace nncell {
+namespace shard {
+
+// --- shard manifest (ShardedIndex::Open) ---------------------------------
+inline constexpr uint64_t kShardManifestMagic = 0x4e4e43454c534831ULL;  // "NNCELSH1"
+inline constexpr uint32_t kShardManifestVersion = 1;
+// Fixed prefix before the cut array: magic u64, version u32, shard_count
+// u32, epoch u64, route_dim u32, dim u32.
+inline constexpr size_t kShardManifestHeaderBytes = 32;
+// Hard cap on shard_count; a parsed count above this is corruption.
+inline constexpr uint32_t kMaxShards = 1024;
+
+// --- router snapshot ------------------------------------------------------
+inline constexpr uint64_t kRouterSnapshotMagic = 0x4e4e43454c525331ULL;  // "NNCELRS1"
+inline constexpr uint32_t kRouterSnapshotVersion = 1;
+// Fixed prefix before the entry array: magic u64, version u32, covered_lsn
+// u64, entry_count u64.
+inline constexpr size_t kRouterSnapshotHeaderBytes = 28;
+// One entry per ever-assigned global id: shard u32, local_id u64, alive u8.
+inline constexpr size_t kRouterSnapshotEntryBytes = 13;
+// Shard value of a tombstoned entry whose owning shard no longer stores
+// the point (compacted away by a rebalance).
+inline constexpr uint32_t kRouterShardNone = 0xffffffff;
+
+// --- router log record payloads (framed by the common WAL format) ---------
+inline constexpr uint8_t kRouterOpInsert = 1;
+inline constexpr uint8_t kRouterOpDelete = 2;
+// Insert: op u8, global_id u64, shard u32. Delete: op u8, global_id u64.
+inline constexpr size_t kRouterInsertPayloadBytes = 13;
+inline constexpr size_t kRouterDeletePayloadBytes = 9;
+
+// File and directory names inside a sharded index directory.
+inline constexpr char kShardManifestFileName[] = "shard.manifest";
+inline constexpr char kRouterSnapshotFileName[] = "router.snap";
+inline constexpr char kRouterLogFileName[] = "router.log";
+// Per-shard durable directories: "shard-<i>", i in [0, shard_count).
+inline constexpr char kShardDirPrefix[] = "shard-";
+// Rebalance staging area (discarded on recovery if present).
+inline constexpr char kRebalanceStagingDirName[] = "rebalance.tmp";
+// Committed-install marker: the staging dir renamed here atomically. Its
+// presence means the new epoch is durable; recovery finishes the install.
+inline constexpr char kRebalanceInstallDirName[] = "epoch-install";
+
+}  // namespace shard
+}  // namespace nncell
+
+#endif  // NNCELL_SHARD_SHARD_FORMAT_H_

@@ -1,0 +1,18 @@
+#include <fstream>
+
+#include "storage/fs_util.h"
+
+namespace nncell {
+namespace shard {
+
+// Reaches into a sibling shard's snapshot file directly instead of going
+// through the router / manifest helpers.
+bool PeekShard(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  auto bytes = fs::ReadFileToString(path + "/snapshot.nncell");
+  return bytes.ok();
+}
+
+}  // namespace shard
+}  // namespace nncell

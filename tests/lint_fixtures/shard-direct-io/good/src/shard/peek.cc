@@ -1,0 +1,18 @@
+#include "shard/shard_manifest.h"
+#include "storage/fs_util.h"
+
+namespace nncell {
+namespace shard {
+
+// Disk access goes through the manifest helpers and directory-level
+// fs_util predicates only; byte-level I/O lives in shard_manifest.cc.
+bool HasManifest(const std::string& dir) {
+  return fs::PathExists(dir + "/shard.manifest");
+}
+
+Status PrepareShardDir(const std::string& dir) {
+  return fs::EnsureDirectory(dir);
+}
+
+}  // namespace shard
+}  // namespace nncell

@@ -1,0 +1,19 @@
+#include <fcntl.h>
+
+#include "storage/fs_util.h"
+
+namespace nncell {
+namespace shard {
+
+// The one translation unit of src/shard/ allowed raw file I/O (the real
+// shard_manifest.cc owns the manifest and router snapshot bytes); the
+// check must stay silent here.
+Status SaveManifestBytes(const std::string& path, const std::string& bytes) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+  }
+  return fs::WriteFileAtomic(path, bytes);
+}
+
+}  // namespace shard
+}  // namespace nncell

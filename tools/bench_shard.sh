@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Sharded serving bench harness: nncell_server --shards=K + bench/loadgen,
+# gated by BENCH_shard.json.
+#
+#   tools/bench_shard.sh [--quick] [--update] [--build-dir DIR]
+#
+# Sweeps the shard count K over fresh servers (K=0 is the plain unsharded
+# backend; full sweep 0 1 2 4 8, quick sweep 0 4) and runs the same
+# deterministic single-connection workload against each. Three gates:
+#
+#   * per-K exact: each scenario's integer results (checksum, op counts)
+#     equal the committed baseline -- one connection + fixed seed makes
+#     the response stream a pure function of the flags.
+#   * cross-K bit-identity: the id_checksum (a hash over result ids only)
+#     must be IDENTICAL across every K including the unsharded K=0 run.
+#     This is the scatter-gather merge contract of docs/SHARDING.md
+#     measured over the wire: shard count changes fan-out and candidate
+#     counts, never answers.
+#   * conservation: each server's DRAINED counters satisfy
+#     accepted == completed + rejected with zero malformed frames.
+#
+# Per-K fan-out metrics (shard.query.probes / pruned) are pulled from
+# STATS_JSON and reported, never gated (they are workload-shape numbers,
+# not invariants). Wall-clock numbers are reported, never gated.
+# --update rewrites BENCH_shard.json from a full run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+UPDATE=0
+BUILD_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --update) UPDATE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    *) echo "usage: $0 [--quick] [--update] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for d in build-dev build; do
+    if [[ -d "$d" ]]; then BUILD_DIR="$d"; break; fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -d "$BUILD_DIR" ]]; then
+  echo "no build directory found (configure with: cmake --preset dev)" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target nncell_server loadgen
+
+SCRATCH=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+  if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill -KILL "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+LOADGEN="$BUILD_DIR/bench/loadgen"
+SWEEP="0 1 2 4 8"
+if [[ "$QUICK" == 1 ]]; then SWEEP="0 4"; fi
+
+SCENARIOS=""
+SERVERS=""
+for K in $SWEEP; do
+  SOCK="$SCRATCH/shard$K.sock"
+  SRV_LOG="$SCRATCH/server$K.log"
+  SHARD_FLAG=""
+  if [[ "$K" != 0 ]]; then SHARD_FLAG="--shards=$K"; fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/tools/nncell_server" "$SCRATCH/index$K" --socket="$SOCK" \
+    --dim=16 $SHARD_FLAG >"$SRV_LOG" 2>&1 &
+  SRV_PID=$!
+  for _ in $(seq 100); do
+    [[ -S "$SOCK" ]] && grep -q READY "$SRV_LOG" && break
+    sleep 0.1
+  done
+  if ! grep -q READY "$SRV_LOG"; then
+    echo "server (K=$K) failed to start:" >&2
+    cat "$SRV_LOG" >&2
+    exit 1
+  fi
+
+  # Deterministic workload: identical flags for every K except the
+  # self-describing --shards label.
+  RUN_JSON=$("$LOADGEN" --socket="$SOCK" --connections=1 --ops=400 \
+    --preload=128 --dim=16 --mix=90:8:2 --zipf=0.99 --seed=7 \
+    --label="shard$K" --shards="$K")
+
+  # Fan-out observability straight off the live server (reported only).
+  STATS_JSON=$("$LOADGEN" --socket="$SOCK" --stats)
+
+  kill -TERM "$SRV_PID"
+  wait "$SRV_PID"
+  SRV_PID=""
+  DRAINED=$(grep DRAINED "$SRV_LOG")
+  ACCEPTED=$(sed -nE 's/.*accepted=([0-9]+).*/\1/p' <<<"$DRAINED")
+  COMPLETED=$(sed -nE 's/.*completed=([0-9]+).*/\1/p' <<<"$DRAINED")
+  REJECTED=$(sed -nE 's/.*rejected=([0-9]+).*/\1/p' <<<"$DRAINED")
+  MALFORMED=$(sed -nE 's/.*malformed=([0-9]+).*/\1/p' <<<"$DRAINED")
+  CONSERVED=false
+  if [[ $((COMPLETED + REJECTED)) -eq "$ACCEPTED" ]]; then CONSERVED=true; fi
+
+  PROBES=$(python3 -c 'import json,sys; d=json.loads(sys.argv[1]); print(int(d["metrics"].get("shard.query.probes", 0)))' "$STATS_JSON")
+  PRUNED=$(python3 -c 'import json,sys; d=json.loads(sys.argv[1]); print(int(d["metrics"].get("shard.query.pruned", 0)))' "$STATS_JSON")
+
+  ROW=$(python3 -c '
+import json, sys
+run = json.loads(sys.argv[1])
+run["server"] = {"accepted": int(sys.argv[2]), "completed": int(sys.argv[3]),
+                 "conservation_ok": sys.argv[4] == "true",
+                 "malformed": int(sys.argv[5]), "rejected": int(sys.argv[6])}
+run["shard_metrics"] = {"probes": int(sys.argv[7]), "pruned": int(sys.argv[8])}
+print(json.dumps(run, sort_keys=True))
+' "$RUN_JSON" "$ACCEPTED" "$COMPLETED" "$CONSERVED" "$MALFORMED" "$REJECTED" \
+    "$PROBES" "$PRUNED")
+
+  if [[ -n "$SCENARIOS" ]]; then SCENARIOS="$SCENARIOS,"; fi
+  SCENARIOS="$SCENARIOS$ROW"
+done
+
+OUT="$BUILD_DIR/bench_shard_current.json"
+printf '{"scenarios":[%s]}\n' "$SCENARIOS" >"$OUT"
+
+if [[ "$UPDATE" == 1 ]]; then
+  if [[ "$QUICK" == 1 ]]; then
+    echo "--update requires a full run (the baseline carries the full sweep)" >&2
+    exit 2
+  fi
+  python3 -c 'import json,sys; doc=json.load(open(sys.argv[1])); json.dump(doc, open(sys.argv[1],"w"), indent=1, sort_keys=True)' "$OUT"
+  cp "$OUT" BENCH_shard.json
+  echo "BENCH_shard.json updated"
+  exit 0
+fi
+
+python3 tools/bench_shard_diff.py BENCH_shard.json "$OUT"

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate a bench_shard run against the committed BENCH_shard.json baseline.
+
+Three gates (see tools/bench_shard.sh for the harness side):
+
+  * per-K exact -- every scenario present in the current run must match
+    the committed scenario of the same label on its deterministic integer
+    results: checksum, id_checksum, and the per-type op counts, with every
+    op succeeding (ok == sent, errors == rejected == 0).
+  * cross-K bit-identity -- id_checksum must be identical across all
+    scenarios of the current run, sharded and unsharded alike. This is
+    the scatter-gather merge contract of docs/SHARDING.md: shard count
+    may change fan-out, candidate counts and timing, never which point
+    is the answer.
+  * conservation -- each scenario's server block must satisfy
+    accepted == completed + rejected with zero malformed frames.
+
+A quick run carries a subset of the sweep; scenarios absent from the
+current run are skipped, unknown labels fail. Fan-out metrics and
+wall-clock numbers are reported, never gated.
+
+Exits 0 when everything passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+EXACT_KEYS = ("checksum", "id_checksum", "queries", "inserts", "deletes",
+              "sent")
+
+
+def scenarios(doc):
+    return {s["label"]: s for s in doc["scenarios"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} BENCH_shard.json current.json",
+              file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        committed = scenarios(json.load(f))
+    with open(sys.argv[2]) as f:
+        current = scenarios(json.load(f))
+
+    failures = []
+    id_checksums = {}
+
+    for label, scen in sorted(current.items()):
+        ref = committed.get(label)
+        if ref is None:
+            failures.append(f"{label}: not in committed baseline")
+            continue
+        res, ref_res = scen["results"], ref["results"]
+        for key in EXACT_KEYS:
+            if res[key] != ref_res[key]:
+                failures.append(
+                    f"{label}: {key} = {res[key]}, baseline {ref_res[key]}")
+        if res["ok"] != res["sent"]:
+            failures.append(
+                f"{label}: ok {res['ok']} != sent {res['sent']}")
+        for key in ("errors", "rejected"):
+            if res[key] != 0:
+                failures.append(f"{label}: {key} = {res[key]}, want 0")
+        srv = scen["server"]
+        if not srv["conservation_ok"]:
+            failures.append(
+                f"{label}: conservation violated: accepted "
+                f"{srv['accepted']} != completed {srv['completed']} + "
+                f"rejected {srv['rejected']}")
+        if srv["malformed"] != 0:
+            failures.append(
+                f"{label}: malformed = {srv['malformed']}, want 0")
+        id_checksums[label] = res["id_checksum"]
+        sm = scen.get("shard_metrics", {})
+        print(f"  {label}: checksum {res['checksum']}, "
+              f"{res['ok']}/{res['sent']} ops, "
+              f"probes {sm.get('probes', 0)} / pruned {sm.get('pruned', 0)}, "
+              f"p99 {res['latency_us']['p99']}us (not gated)")
+
+    if len(set(id_checksums.values())) > 1:
+        failures.append(
+            "cross-K bit-identity violated: id_checksum differs across the "
+            f"sweep: {id_checksums}")
+    elif id_checksums:
+        print(f"  cross-K: id_checksum {next(iter(id_checksums.values()))} "
+              f"identical across {sorted(id_checksums)}")
+
+    if failures:
+        print("FAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("sharded serving bench gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

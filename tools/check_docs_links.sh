@@ -22,6 +22,11 @@
 #     layout constant in the kernel header (`kLaneWidth = 4`) is
 #     documented with its exact value, and every constant the document
 #     names still exists in the kernel headers.
+#  7. docs/SHARDING.md and src/shard/shard_format.h must agree the same
+#     way PERSISTENCE.md does with durable_format.h: every sharded-index
+#     format constant (magic, version, size, op code, file/dir name) is
+#     documented with its exact value, and every constant the document
+#     names still exists.
 #
 # Usage: check_docs_links.sh [repo-root]
 
@@ -277,11 +282,68 @@ for c in $kern_doc_consts; do
   fi
 done
 
+# --- 7. SHARDING.md <-> shard_format.h -------------------------------------
+
+shard_header="src/shard/shard_format.h"
+shard_doc="docs/SHARDING.md"
+
+for required in "$shard_header" "$shard_doc"; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING FILE: $required"
+    exit 1
+  fi
+done
+
+# Forward: every `kName = value` constant in the shard format header must
+# appear in the document with its exact value (same normalization as the
+# PERSISTENCE.md check: integer suffixes and quotes stripped).
+shard_doc_flat=$(tr -d '`' < "$shard_doc")
+n_shard_consts=0
+while read -r name value; do
+  [ -z "$name" ] && continue
+  n_shard_consts=$((n_shard_consts + 1))
+  case "$value" in
+    \"*\")
+      value="${value%\"}"
+      value="${value#\"}"
+      if ! printf '%s' "$shard_doc_flat" | grep -qF "$name" ||
+         ! printf '%s' "$shard_doc_flat" | grep -qF "$value"; then
+        echo "UNDOCUMENTED SHARD CONSTANT: $name = \"$value\"" \
+             "(missing from $shard_doc)"
+        fail=1
+      fi
+      ;;
+    *)
+      value=$(printf '%s' "$value" | sed -E 's/U?L?L?$//')
+      if ! printf '%s' "$shard_doc_flat" | grep -qF "$name = $value"; then
+        echo "SHARD CONSTANT DRIFT: $shard_doc must state \"$name = $value\"" \
+             "(from $shard_header)"
+        fail=1
+      fi
+      ;;
+  esac
+done <<EOF
+$(sed -nE 's/^inline constexpr [A-Za-z0-9_]+ (k[A-Za-z0-9]+)(\[\])? = ([^;]+);.*/\1 \3/p' "$shard_header")
+EOF
+
+# Reverse: every backticked kConstant the document names must still be
+# defined in the shard format or failpoint headers.
+shard_doc_consts=$(grep -oE '`k[A-Z][A-Za-z0-9]*`' "$shard_doc" \
+                   | tr -d '`' | sort -u)
+for c in $shard_doc_consts; do
+  if ! grep -qE "\b$c\b" "$shard_header" "$fp_header"; then
+    echo "STALE DOC CONSTANT: $c (in $shard_doc, not defined in" \
+         "$shard_header or $fp_header)"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   n_links=$(printf '%s\n' "$md_files" | wc -l | tr -d ' ')
   n_names=$(printf '%s\n' "$src_names" | wc -l | tr -d ' ')
   echo "docs check OK: $n_links markdown files, $n_names metrics," \
        "$n_consts format constants, $n_wire_consts wire constants," \
-       "$n_lint_checks lint checks, $n_kern_consts kernel constants in sync"
+       "$n_lint_checks lint checks, $n_kern_consts kernel constants," \
+       "$n_shard_consts shard constants in sync"
 fi
 exit "$fail"

@@ -2,19 +2,25 @@
 //
 //   nncell_cli build  <points.csv> <index.nncell|dir> [--algorithm=sphere]
 //                     [--decompose=K] [--xtree=0|1] [--threads=N] [--durable]
+//                     [--shards=K]
 //   nncell_cli query  <index.nncell|dir> <queries.csv> [--k=1] [--threads=N]
 //                     [--trace]
 //   nncell_cli stats  <index.nncell|dir> [--json] [--probe-queries=N]
 //                     [--lp-sample=N] [--seed=S]
 //   nncell_cli checkpoint <dir>
 //   nncell_cli recover    <dir> [--dim=N]
+//   nncell_cli rebalance  <dir>
 //
 // An index argument that names a directory is opened as a durable index
 // (snapshot + write-ahead log, docs/PERSISTENCE.md); `build --durable`
-// creates one. `checkpoint` folds the WAL into a fresh snapshot;
-// `recover` opens the directory, replays the log, reports what recovery
-// did, and exits nonzero on any corruption -- the operator entry points of
-// the runbook in docs/OPERATIONS.md.
+// creates one. A directory containing a `shard.manifest` is opened as a
+// sharded index (docs/SHARDING.md); `build --durable --shards=K` creates
+// one, and every command below accepts either kind. `checkpoint` folds
+// the WAL(s) into fresh snapshots; `recover` opens the directory, replays
+// the log(s), reports what recovery did, and exits nonzero on any
+// corruption -- the operator entry points of the runbooks in
+// docs/OPERATIONS.md. `rebalance` recomputes a sharded index's cuts from
+// the live points and installs the next routing epoch.
 //
 // --threads=N runs the build's LP solves / the query batch on N worker
 // threads (0 = one per hardware core). The built index is byte-identical
@@ -49,6 +55,8 @@
 #include "common/stopwatch.h"
 #include "nncell/nncell_index.h"
 #include "nncell/query_trace.h"
+#include "shard/shard_format.h"
+#include "shard/sharded_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/fs_util.h"
 #include "storage/page_file.h"
@@ -59,15 +67,33 @@ using namespace nncell;
 
 // An opened index plus whatever storage keeps it alive: durable indexes
 // own their storage; file-image indexes borrow `file`/`pool` below.
+// Exactly one of `index`/`sharded` is set.
 struct OpenedIndex {
   std::unique_ptr<PageFile> file;
   std::unique_ptr<BufferPool> pool;
   std::unique_ptr<NNCellIndex> index;
+  std::unique_ptr<ShardedIndex> sharded;
 };
 
-// Opens `path` as a durable directory or a single-file snapshot image.
+// A directory with a shard manifest is a sharded index root, not a plain
+// durable index directory.
+bool IsShardedDir(const std::string& path) {
+  return fs::IsDirectory(path) &&
+         fs::PathExists(shard::JoinPath(path, shard::kShardManifestFileName));
+}
+
+// Opens `path` as a sharded root, a durable directory, or a single-file
+// snapshot image.
 StatusOr<OpenedIndex> OpenAnyIndex(const std::string& path) {
   OpenedIndex o;
+  if (IsShardedDir(path)) {
+    auto idx = ShardedIndex::Open(path, 0, NNCellOptions(),
+                                  NNCellIndex::DurableOptions(),
+                                  ShardedOptions());
+    if (!idx.ok()) return idx.status();
+    o.sharded = std::move(*idx);
+    return o;
+  }
   if (fs::IsDirectory(path)) {
     auto idx = NNCellIndex::Open(path, 0, NNCellOptions());
     if (!idx.ok()) return idx.status();
@@ -170,6 +196,50 @@ int Build(int argc, char** argv) {
     options.parallel.num_threads = std::strtoul(t, nullptr, 10);
   }
 
+  size_t shards = 0;
+  if (const char* s = FlagValue(argc, argv, "--shards")) {
+    shards = std::strtoul(s, nullptr, 10);
+    if (shards == 0) {
+      std::fprintf(stderr, "--shards must be at least 1\n");
+      return 2;
+    }
+    if (!HasFlag(argc, argv, "--durable")) {
+      std::fprintf(stderr,
+                   "--shards requires --durable: a sharded index is a "
+                   "directory of per-shard snapshot+WAL dirs plus a router, "
+                   "not a single-file image\n");
+      return 2;
+    }
+  }
+
+  if (shards > 0) {
+    // Sharded durable build: partition along quantile-balanced cuts and
+    // build every shard in parallel (docs/SHARDING.md).
+    ShardedOptions sopts;
+    sopts.num_shards = shards;
+    auto idx = ShardedIndex::Open(std::string(argv[3]), pts->dim(), options,
+                                  NNCellIndex::DurableOptions(), sopts);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch timer;
+    Status st = (*idx)->BulkBuild(*pts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "built sharded index %s: %zu points, dim=%zu, algorithm=%s, "
+        "%zu shards, %.2fs,\n"
+        "  expected candidates per query %.2f\n",
+        argv[3], (*idx)->size(), (*idx)->dim(),
+        ApproxAlgorithmName((*idx)->options().algorithm), (*idx)->num_shards(),
+        timer.ElapsedSeconds(), (*idx)->ExpectedCandidates());
+    return 0;
+  }
+
   if (HasFlag(argc, argv, "--durable")) {
     // Durable build: the output is a directory with a checksummed snapshot
     // and a write-ahead log; BulkBuild checkpoints on completion, and later
@@ -220,59 +290,16 @@ int Build(int argc, char** argv) {
   return 0;
 }
 
-int Query(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: nncell_cli query <index> <queries.csv>\n");
-    return 2;
-  }
-  auto opened = OpenAnyIndex(argv[2]);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
-    return 1;
-  }
-  auto& index = opened->index;
-  auto queries = ReadCsv(argv[3]);
-  if (!queries.ok()) {
-    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
-    return 1;
-  }
-  if (queries->dim() != index->dim()) {
-    std::fprintf(stderr, "query dim %zu != index dim %zu\n", queries->dim(),
-                 index->dim());
-    return 1;
-  }
-  size_t k = 1;
-  if (const char* kv = FlagValue(argc, argv, "--k")) {
-    k = std::strtoul(kv, nullptr, 10);
-  }
-  size_t threads = 1;
-  if (const char* t = FlagValue(argc, argv, "--threads")) {
-    threads = std::strtoul(t, nullptr, 10);
-    index->SetNumThreads(threads);
-  }
-  const bool trace_mode = HasFlag(argc, argv, "--trace");
-  if (trace_mode && k == 1) {
-    // Traced queries run serially: the per-query buffer-pool deltas in the
-    // trace are only exact when queries do not overlap.
-    metrics::Registry::SetEnabled(true);
-    for (size_t i = 0; i < queries->size(); ++i) {
-      QueryTrace trace;
-      auto r = index->Query((*queries)[i], &trace);
-      if (!r.ok()) {
-        std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
-        continue;
-      }
-      std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu\n", i,
-                  static_cast<unsigned long long>(r->id), r->dist,
-                  r->candidates);
-      std::printf("trace %zu: %s\n", i, trace.ToJson().c_str());
-    }
-    return 0;
-  }
+// The batch/serial/knn answer paths, shared verbatim between the plain and
+// the sharded index (whose query API mirrors NNCellIndex and answers
+// bit-identically; docs/SHARDING.md).
+template <typename Index>
+int RunQueries(Index& index, const PointSet& queries, size_t k,
+               size_t threads) {
   if (k == 1 && (threads == 0 || threads > 1)) {
     // Batched answer path: results are identical to the serial loop below,
     // computed by concurrent readers.
-    auto results = index->QueryBatch(*queries);
+    auto results = index.QueryBatch(queries);
     if (!results.ok()) {
       std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
       return 1;
@@ -284,9 +311,9 @@ int Query(int argc, char** argv) {
     }
     return 0;
   }
-  for (size_t i = 0; i < queries->size(); ++i) {
+  for (size_t i = 0; i < queries.size(); ++i) {
     if (k == 1) {
-      auto r = index->Query((*queries)[i]);
+      auto r = index.Query(queries[i]);
       if (!r.ok()) {
         std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
         continue;
@@ -295,7 +322,7 @@ int Query(int argc, char** argv) {
                   static_cast<unsigned long long>(r->id), r->dist,
                   r->candidates);
     } else {
-      auto r = index->KnnQuery((*queries)[i], k);
+      auto r = index.KnnQuery(queries[i], k);
       if (!r.ok()) {
         std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
         continue;
@@ -311,11 +338,9 @@ int Query(int argc, char** argv) {
   return 0;
 }
 
-int Stats(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: nncell_cli stats <index> [--json]"
-                 " [--probe-queries=N] [--lp-sample=N] [--seed=S]\n");
+int Query(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: nncell_cli query <index> <queries.csv>\n");
     return 2;
   }
   auto opened = OpenAnyIndex(argv[2]);
@@ -323,23 +348,109 @@ int Stats(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
     return 1;
   }
-  auto& index = opened->index;
-  auto info = index->TreeInfo();
+  const size_t index_dim =
+      opened->sharded ? opened->sharded->dim() : opened->index->dim();
+  auto queries = ReadCsv(argv[3]);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  if (queries->dim() != index_dim) {
+    std::fprintf(stderr, "query dim %zu != index dim %zu\n", queries->dim(),
+                 index_dim);
+    return 1;
+  }
+  size_t k = 1;
+  if (const char* kv = FlagValue(argc, argv, "--k")) {
+    k = std::strtoul(kv, nullptr, 10);
+  }
+  size_t threads = 1;
+  if (const char* t = FlagValue(argc, argv, "--threads")) {
+    threads = std::strtoul(t, nullptr, 10);
+    if (opened->sharded) {
+      opened->sharded->SetNumThreads(threads);
+    } else {
+      opened->index->SetNumThreads(threads);
+    }
+  }
+  const bool trace_mode = HasFlag(argc, argv, "--trace");
+  if (trace_mode && k == 1) {
+    if (opened->sharded) {
+      // Per-stage timelines are a single-index diagnostic; a sharded query
+      // is a merge of several of them. Point the operator at the shards.
+      std::fprintf(stderr,
+                   "--trace is not supported on a sharded index; trace a "
+                   "single shard directory instead (docs/SHARDING.md)\n");
+      return 2;
+    }
+    // Traced queries run serially: the per-query buffer-pool deltas in the
+    // trace are only exact when queries do not overlap.
+    metrics::Registry::SetEnabled(true);
+    auto& index = opened->index;
+    for (size_t i = 0; i < queries->size(); ++i) {
+      QueryTrace trace;
+      auto r = index->Query((*queries)[i], &trace);
+      if (!r.ok()) {
+        std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu\n", i,
+                  static_cast<unsigned long long>(r->id), r->dist,
+                  r->candidates);
+      std::printf("trace %zu: %s\n", i, trace.ToJson().c_str());
+    }
+    return 0;
+  }
+  if (opened->sharded) {
+    return RunQueries(*opened->sharded, *queries, k, threads);
+  }
+  return RunQueries(*opened->index, *queries, k, threads);
+}
+
+// LP-effort probe for the stats workload: the sharded index has no
+// aggregate recompute hook, so its LP counters reflect the build only.
+void ProbeLpEffort(NNCellIndex& index, size_t lp_sample, uint64_t seed) {
+  (void)index.MeasureApproxEffort(lp_sample, seed);
+}
+void ProbeLpEffort(ShardedIndex&, size_t, uint64_t) {}
+
+// Stats over either index kind; `sharded` is null for a plain index, and
+// its presence only *adds* output (the unsharded text and JSON stay
+// byte-identical to what they were before sharding existed).
+template <typename Index>
+int RunStats(Index& index, const ShardedIndex* sharded, int argc,
+             char** argv) {
+  auto info = index.TreeInfo();
   if (!HasFlag(argc, argv, "--json")) {
-    std::printf("points:             %zu (dim %zu)\n", index->size(),
-                index->dim());
+    std::printf("points:             %zu (dim %zu)\n", index.size(),
+                index.dim());
     std::printf("algorithm:          %s\n",
-                ApproxAlgorithmName(index->options().algorithm));
-    std::printf("expected candidates:%.2f\n", index->ExpectedCandidates());
+                ApproxAlgorithmName(index.options().algorithm));
+    std::printf("expected candidates:%.2f\n", index.ExpectedCandidates());
     std::printf("tree height:        %zu\n", info.height);
     std::printf("tree nodes:         %zu (%zu leaves, %zu supernodes)\n",
                 info.num_nodes, info.num_leaves, info.num_supernodes);
     std::printf("tree pages:         %zu (%zu bytes)\n", info.total_pages,
                 info.total_pages * 4096);
     std::printf("validation:         %s\n",
-                index->ValidateTree().empty()
-                    ? "OK"
-                    : index->ValidateTree().c_str());
+                index.ValidateTree().empty() ? "OK"
+                                             : index.ValidateTree().c_str());
+    if (sharded != nullptr) {
+      ShardedIndex::ShardStats s = sharded->Stats();
+      std::printf("shards:             %zu (epoch %llu, route dim %u, "
+                  "%zu degraded)\n",
+                  sharded->num_shards(),
+                  static_cast<unsigned long long>(s.epoch), s.route_dim,
+                  sharded->degraded_shards());
+      for (size_t i = 0; i < s.live.size(); ++i) {
+        std::printf("  shard %-2zu          %llu live / %llu total, "
+                    "%llu probes%s\n",
+                    i, static_cast<unsigned long long>(s.live[i]),
+                    static_cast<unsigned long long>(s.total[i]),
+                    static_cast<unsigned long long>(s.probes[i]),
+                    s.healthy[i] ? "" : " [DEGRADED]");
+      }
+    }
     std::printf("(run with --json for the full metrics snapshot)\n");
     return 0;
   }
@@ -363,10 +474,10 @@ int Stats(int argc, char** argv) {
   registry.ResetAll();
   metrics::Registry::SetEnabled(true);
   Rng rng(seed);
-  std::vector<double> q(index->dim());
+  std::vector<double> q(index.dim());
   for (size_t t = 0; t < probe_queries; ++t) {
     for (auto& v : q) v = rng.NextDouble();
-    auto r = index->Query(q);
+    auto r = index.Query(q);
     if (!r.ok()) {
       std::fprintf(stderr, "probe query failed: %s\n",
                    r.status().ToString().c_str());
@@ -375,7 +486,7 @@ int Stats(int argc, char** argv) {
   }
   // Recompute (and discard) a few cell approximations so the LP pipeline
   // counters reflect this index, not just zeros.
-  (void)index->MeasureApproxEffort(lp_sample, seed);
+  ProbeLpEffort(index, lp_sample, seed);
   metrics::Registry::SetEnabled(false);
 
   char buf[512];
@@ -387,17 +498,40 @@ int Stats(int argc, char** argv) {
       "\"probe_queries\":%zu,\"tree_height\":%zu,\"tree_leaves\":%zu,"
       "\"tree_nodes\":%zu,\"tree_pages\":%zu,\"tree_supernodes\":%zu,"
       "\"validation\":\"%s\"",
-      ApproxAlgorithmName(index->options().algorithm), index->dim(),
-      index->ExpectedCandidates(), kernels::ActiveLevelName(), lp_sample,
-      index->size(), probe_queries, info.height, info.num_leaves,
+      ApproxAlgorithmName(index.options().algorithm), index.dim(),
+      index.ExpectedCandidates(), kernels::ActiveLevelName(), lp_sample,
+      index.size(), probe_queries, info.height, info.num_leaves,
       info.num_nodes, info.total_pages, info.num_supernodes,
-      index->ValidateTree().empty() ? "OK" : "FAILED");
+      index.ValidateTree().empty() ? "OK" : "FAILED");
   out += buf;
-  out += "},\"metrics\":";
+  out += "}";
+  if (sharded != nullptr) {
+    out += ",\"shard\":";
+    out += sharded->StatsJson();
+  }
+  out += ",\"metrics\":";
   out += registry.SnapshotJson();
   out += "}";
   std::printf("%s\n", out.c_str());
   return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: nncell_cli stats <index> [--json]"
+                 " [--probe-queries=N] [--lp-sample=N] [--seed=S]\n");
+    return 2;
+  }
+  auto opened = OpenAnyIndex(argv[2]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  if (opened->sharded) {
+    return RunStats(*opened->sharded, opened->sharded.get(), argc, argv);
+  }
+  return RunStats(*opened->index, nullptr, argc, argv);
 }
 
 int Checkpoint(int argc, char** argv) {
@@ -409,6 +543,27 @@ int Checkpoint(int argc, char** argv) {
   if (!fs::IsDirectory(dir)) {
     std::fprintf(stderr, "%s is not a durable index directory\n", dir.c_str());
     return 2;
+  }
+  if (IsShardedDir(dir)) {
+    ShardedIndex::RecoveryInfo sinfo;
+    auto idx = ShardedIndex::Open(dir, 0, NNCellOptions(),
+                                  NNCellIndex::DurableOptions(),
+                                  ShardedOptions(), &sinfo);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "%s\n", idx.status().ToString().c_str());
+      return 1;
+    }
+    Status st = (*idx)->Checkpoint();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "checkpointed %s: %zu live points across %zu shards, %llu router "
+        "records folded into the router snapshot\n",
+        dir.c_str(), (*idx)->size(), (*idx)->num_shards(),
+        static_cast<unsigned long long>(sinfo.router_records_replayed));
+    return 0;
   }
   NNCellIndex::RecoveryInfo info;
   auto idx = NNCellIndex::Open(dir, 0, NNCellOptions(),
@@ -430,6 +585,52 @@ int Checkpoint(int argc, char** argv) {
   return 0;
 }
 
+// Sharded recovery report: what Open() finished, replayed and reconciled,
+// plus one status line per shard. Exits nonzero when any shard is
+// degraded or tree validation fails -- the operator entry point of the
+// degraded-shard runbook (docs/SHARDING.md, docs/OPERATIONS.md).
+int RecoverSharded(const std::string& dir) {
+  ShardedIndex::RecoveryInfo info;
+  auto idx = ShardedIndex::Open(dir, 0, NNCellOptions(),
+                                NNCellIndex::DurableOptions(),
+                                ShardedOptions(), &info);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 idx.status().ToString().c_str());
+    return 1;
+  }
+  std::string tree_check = (*idx)->ValidateTree();
+  std::printf("recovered sharded index %s:\n", dir.c_str());
+  std::printf("  shards:            %zu (epoch %llu)\n", (*idx)->num_shards(),
+              static_cast<unsigned long long>((*idx)->epoch()));
+  std::printf("  rebalance:         %s\n",
+              info.finalized_install  ? "finalized a committed install"
+              : info.discarded_staging ? "discarded uncommitted staging"
+                                       : "none in flight");
+  std::printf("  router replayed:   %llu records (%llu already in snapshot)\n",
+              static_cast<unsigned long long>(info.router_records_replayed),
+              static_cast<unsigned long long>(info.router_records_skipped));
+  std::printf("  reconciled:        %llu inserts, %llu deletes\n",
+              static_cast<unsigned long long>(info.reconciled_inserts),
+              static_cast<unsigned long long>(info.reconciled_deletes));
+  for (size_t i = 0; i < info.shards.size(); ++i) {
+    const auto& s = info.shards[i];
+    if (s.status.ok()) {
+      std::printf("  shard %-2zu           ok (%llu wal records replayed)\n", i,
+                  static_cast<unsigned long long>(
+                      s.info.wal_records_replayed));
+    } else {
+      std::printf("  shard %-2zu           DEGRADED: %s\n", i,
+                  s.status.ToString().c_str());
+    }
+  }
+  std::printf("  live points:       %zu (dim %zu)\n", (*idx)->size(),
+              (*idx)->dim());
+  std::printf("  tree validation:   %s\n",
+              tree_check.empty() ? "OK" : tree_check.c_str());
+  return ((*idx)->degraded() || !tree_check.empty()) ? 1 : 0;
+}
+
 int Recover(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: nncell_cli recover <dir> [--dim=N]\n");
@@ -440,6 +641,7 @@ int Recover(int argc, char** argv) {
     std::fprintf(stderr, "%s is not a durable index directory\n", dir.c_str());
     return 2;
   }
+  if (IsShardedDir(dir)) return RecoverSharded(dir);
   size_t dim = 0;
   if (const char* d = FlagValue(argc, argv, "--dim")) {
     dim = std::strtoul(d, nullptr, 10);
@@ -473,21 +675,61 @@ int Recover(int argc, char** argv) {
   return tree_check.empty() ? 0 : 1;
 }
 
+int Rebalance(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: nncell_cli rebalance <dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[2];
+  if (!IsShardedDir(dir)) {
+    std::fprintf(stderr, "%s is not a sharded index directory (no %s)\n",
+                 dir.c_str(), shard::kShardManifestFileName);
+    return 2;
+  }
+  auto idx = ShardedIndex::Open(dir, 0, NNCellOptions(),
+                                NNCellIndex::DurableOptions(),
+                                ShardedOptions());
+  if (!idx.ok()) {
+    std::fprintf(stderr, "%s\n", idx.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t epoch_before = (*idx)->epoch();
+  Stopwatch timer;
+  Status st = (*idx)->Rebalance(/*force=*/true);
+  if (!st.ok()) {
+    std::fprintf(stderr, "rebalance failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  ShardedIndex::ShardStats s = (*idx)->Stats();
+  std::printf("rebalanced %s: epoch %llu -> %llu, %zu shards, %zu live "
+              "points, %.2fs\n",
+              dir.c_str(), static_cast<unsigned long long>(epoch_before),
+              static_cast<unsigned long long>((*idx)->epoch()),
+              (*idx)->num_shards(), (*idx)->size(), timer.ElapsedSeconds());
+  for (size_t i = 0; i < s.live.size(); ++i) {
+    std::printf("  shard %-2zu %llu live points\n", i,
+                static_cast<unsigned long long>(s.live[i]));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: nncell_cli <build|query|stats|checkpoint|recover>"
-                 " ...\n"
+                 "usage: nncell_cli"
+                 " <build|query|stats|checkpoint|recover|rebalance> ...\n"
                  "  build <points.csv> <out.nncell|dir> [--algorithm=A]"
-                 " [--decompose=K] [--xtree=0|1] [--threads=N] [--durable]\n"
+                 " [--decompose=K] [--xtree=0|1] [--threads=N] [--durable]"
+                 " [--shards=K]\n"
                  "  query <index.nncell|dir> <queries.csv> [--k=N]"
                  " [--threads=N] [--trace]\n"
                  "  stats <index.nncell|dir> [--json] [--probe-queries=N]"
                  " [--lp-sample=N] [--seed=S]\n"
                  "  checkpoint <dir>\n"
-                 "  recover <dir> [--dim=N]\n");
+                 "  recover <dir> [--dim=N]\n"
+                 "  rebalance <dir>\n");
     return 2;
   }
   std::string cmd = argv[1];
@@ -496,6 +738,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return Stats(argc, argv);
   if (cmd == "checkpoint") return Checkpoint(argc, argv);
   if (cmd == "recover") return Recover(argc, argv);
+  if (cmd == "rebalance") return Rebalance(argc, argv);
   std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
   return 2;
 }

@@ -360,6 +360,34 @@ def check_scalar_distance_loop(root, files, emit):
                        "(common/kernels/kernels.h)")
 
 
+@check("shard-direct-io",
+       "raw file I/O in src/shard outside shard_manifest.cc (the shard "
+       "layer reaches disk only through the manifest/router helpers, the "
+       "per-shard NNCellIndex, and the WriteAheadLog, so no shard code "
+       "path can open a sibling shard's files behind the router's back)")
+def check_shard_direct_io(root, files, emit):
+    report = suppressible("shard-direct-io")
+    io_re = re.compile(
+        r"std::[io]?fstream|\bfopen\s*\(|::open\s*\(|"
+        r"fs::ReadFileToString|fs::WriteFileAtomic")
+    for path, rel in files:
+        if not rel.startswith("src/shard/"):
+            continue
+        if rel == "src/shard/shard_manifest.cc":
+            continue  # the one TU allowed raw file I/O (see its header)
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            m = io_re.search(code)
+            if not m:
+                continue
+            report(emit, lines, i, rel,
+                   "direct file I/O (%s) in the shard layer; go through "
+                   "the shard_manifest helpers, the per-shard index, or "
+                   "the router WAL so recovery and failpoints see it" %
+                   m.group(0).strip("( "))
+
+
 @check("tsa-escape",
        "NNCELL_NO_THREAD_SAFETY_ANALYSIS is banned in annotated modules "
        "(src/common, src/storage, src/nncell); restructure instead "

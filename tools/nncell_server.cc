@@ -2,11 +2,15 @@
 //
 //   nncell_server <index-dir> --socket=PATH [--tcp-port=N] [--dim=N]
 //                 [--threads=N] [--max-queue=N] [--max-batch=N]
-//                 [--metrics=0|1]
+//                 [--metrics=0|1] [--shards=K]
 //
 // Opens (or creates, with --dim) the durable index directory, serves the
 // binary wire protocol of docs/SERVING.md on a unix-domain socket and/or
-// 127.0.0.1 TCP, and runs until SIGINT or SIGTERM. The signal triggers a
+// 127.0.0.1 TCP, and runs until SIGINT or SIGTERM. A directory holding a
+// shard.manifest is served as a sharded index (docs/SHARDING.md);
+// --shards=K with --dim creates a fresh K-shard index, and STATS_JSON
+// then carries a "shard" object with the routing epoch and per-shard
+// breakdown. The signal triggers a
 // graceful drain: stop accepting, answer everything already admitted, fold
 // the WAL into a fresh snapshot (Checkpoint), then exit 0. A second signal
 // during the drain is ignored; kill -9 is what crash recovery is for
@@ -25,6 +29,8 @@
 #include "common/metrics.h"
 #include "nncell/nncell_index.h"
 #include "server/server.h"
+#include "shard/shard_format.h"
+#include "shard/sharded_index.h"
 #include "storage/fs_util.h"
 
 namespace {
@@ -41,6 +47,51 @@ const char* FlagValue(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
+// server::IndexBackend over a plain NNCellIndex (the daemon always talks
+// to the server through a backend so the two index kinds share one code
+// path below).
+class PlainBackend : public server::IndexBackend {
+ public:
+  explicit PlainBackend(NNCellIndex* index) : index_(index) {}
+  size_t dim() const override { return index_->dim(); }
+  bool durable() const override { return index_->durable(); }
+  StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
+      const PointSet& queries) const override {
+    return index_->QueryBatch(queries);
+  }
+  StatusOr<uint64_t> Insert(const std::vector<double>& point) override {
+    return index_->Insert(point);
+  }
+  Status Delete(uint64_t id) override { return index_->Delete(id); }
+  Status Checkpoint() override { return index_->Checkpoint(); }
+
+ private:
+  NNCellIndex* const index_;
+};
+
+// server::IndexBackend over a ShardedIndex: scatter-gather queries,
+// routed writes, checkpoint across every shard, and the STATS_JSON
+// "shard" object.
+class ShardedBackend : public server::IndexBackend {
+ public:
+  explicit ShardedBackend(ShardedIndex* index) : index_(index) {}
+  size_t dim() const override { return index_->dim(); }
+  bool durable() const override { return index_->durable(); }
+  StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
+      const PointSet& queries) const override {
+    return index_->QueryBatch(queries);
+  }
+  StatusOr<uint64_t> Insert(const std::vector<double>& point) override {
+    return index_->Insert(point);
+  }
+  Status Delete(uint64_t id) override { return index_->Delete(id); }
+  Status Checkpoint() override { return index_->Checkpoint(); }
+  std::string ShardStatsJson() const override { return index_->StatsJson(); }
+
+ private:
+  ShardedIndex* const index_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,7 +99,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nncell_server <index-dir> --socket=PATH"
                  " [--tcp-port=N] [--dim=N] [--threads=N]"
-                 " [--max-queue=N] [--max-batch=N] [--metrics=0|1]\n");
+                 " [--max-queue=N] [--max-batch=N] [--metrics=0|1]"
+                 " [--shards=K]\n");
     return 2;
   }
   const std::string dir = argv[1];
@@ -75,6 +127,10 @@ int main(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--metrics")) {
     metrics_on = std::atoi(v) != 0;
   }
+  size_t shards = 0;
+  if (const char* v = FlagValue(argc, argv, "--shards")) {
+    shards = std::strtoul(v, nullptr, 10);
+  }
   if (sopt.socket_path.empty() && sopt.tcp_port == 0) {
     std::fprintf(stderr, "nncell_server: need --socket and/or --tcp-port\n");
     return 2;
@@ -98,23 +154,67 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  NNCellIndex::RecoveryInfo info;
-  auto idx = NNCellIndex::Open(dir, dim, NNCellOptions(),
-                               NNCellIndex::DurableOptions(), &info);
-  if (!idx.ok()) {
-    std::fprintf(stderr, "nncell_server: open %s failed: %s\n", dir.c_str(),
-                 idx.status().ToString().c_str());
-    return 1;
+  // A shard.manifest in the directory (or an explicit --shards when
+  // creating fresh) selects the sharded backend; either way the wire
+  // protocol and drain behavior are identical.
+  const bool sharded =
+      shards > 0 ||
+      fs::PathExists(shard::JoinPath(dir, shard::kShardManifestFileName));
+
+  std::unique_ptr<NNCellIndex> plain_index;
+  std::unique_ptr<ShardedIndex> sharded_index;
+  std::unique_ptr<server::IndexBackend> backend;
+  uint64_t wal_replayed = 0;
+  if (sharded) {
+    ShardedOptions shopt;
+    shopt.num_shards = shards > 0 ? shards : 1;
+    ShardedIndex::RecoveryInfo info;
+    auto idx = ShardedIndex::Open(dir, dim, NNCellOptions(),
+                                  NNCellIndex::DurableOptions(), shopt, &info);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "nncell_server: open %s failed: %s\n", dir.c_str(),
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    sharded_index = std::move(*idx);
+    if (sharded_index->degraded()) {
+      // Serving would silently answer from a subset of the data; make the
+      // operator run the recovery runbook (docs/SHARDING.md) instead.
+      std::fprintf(stderr,
+                   "nncell_server: %zu of %zu shards failed to open; "
+                   "run `nncell_cli recover %s` and restore the damaged "
+                   "shard(s) before serving\n",
+                   sharded_index->degraded_shards(),
+                   sharded_index->num_shards(), dir.c_str());
+      return 1;
+    }
+    wal_replayed = info.router_records_replayed;
+    if (threads != 1) sharded_index->SetNumThreads(threads);
+    backend = std::make_unique<ShardedBackend>(sharded_index.get());
+  } else {
+    NNCellIndex::RecoveryInfo info;
+    auto idx = NNCellIndex::Open(dir, dim, NNCellOptions(),
+                                 NNCellIndex::DurableOptions(), &info);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "nncell_server: open %s failed: %s\n", dir.c_str(),
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    plain_index = std::move(*idx);
+    wal_replayed = info.wal_records_replayed;
+    if (threads != 1) plain_index->SetNumThreads(threads);
+    backend = std::make_unique<PlainBackend>(plain_index.get());
   }
-  if (threads != 1) (*idx)->SetNumThreads(threads);
   metrics::Registry::SetEnabled(metrics_on);
 
   // Snapshot recovered state before Start(): once the dispatcher runs,
   // the index belongs to it and main must not touch it until Stop().
-  const size_t recovered_points = (*idx)->size();
-  const size_t recovered_dim = (*idx)->dim();
+  const size_t recovered_points =
+      sharded ? sharded_index->size() : plain_index->size();
+  const size_t recovered_dim =
+      sharded ? sharded_index->dim() : plain_index->dim();
 
-  server::NNCellServer srv((*idx).get(), sopt);
+  server::NNCellServer srv(backend.get(), sopt);
   Status st = srv.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "nncell_server: start failed: %s\n",
@@ -122,10 +222,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "READY dir=%s points=%zu dim=%zu wal_replayed=%llu socket=%s "
-      "tcp_port=%d\n",
+      "READY dir=%s points=%zu dim=%zu shards=%zu wal_replayed=%llu "
+      "socket=%s tcp_port=%d\n",
       dir.c_str(), recovered_points, recovered_dim,
-      static_cast<unsigned long long>(info.wal_records_replayed),
+      sharded ? sharded_index->num_shards() : size_t{0},
+      static_cast<unsigned long long>(wal_replayed),
       sopt.socket_path.empty() ? "-" : sopt.socket_path.c_str(),
       sopt.tcp_port);
   std::fflush(stdout);
