@@ -32,6 +32,7 @@ nncell_add_fig(extension_knn)
 nncell_add_fig(model_vs_measured)
 nncell_add_fig(extension_parallel)
 nncell_add_fig(bench_regress)
+nncell_add_fig(bench_recall)
 nncell_add_fig(bench_simd)
 target_link_libraries(model_vs_measured PRIVATE nncell_model)
 

@@ -2,7 +2,8 @@
 //
 //   loadgen --socket=PATH [--tcp-port=N] [--connections=N] [--ops=N]
 //           [--qps=R] [--mix=Q:I:D] [--preload=N] [--zipf=THETA]
-//           [--seed=S] [--label=STR] [--shards=K]
+//           [--seed=S] [--label=STR] [--shards=K] [--epsilon=E]
+//           [--max-visits=N] [--dump-preload=PATH] [--oracle-snapshot=PATH]
 //
 // Drives the wire protocol of docs/SERVING.md over N concurrent
 // connections and prints one JSON object with per-type counts, the
@@ -28,16 +29,32 @@
 // integer fields of query responses: result id and candidate count) is
 // byte-stable across runs -- tools/bench_serve.sh gates on it. Floating
 // point fields deliberately stay out of the checksum.
+//
+// Approximate tier (docs/APPROXIMATE.md): --epsilon / --max-visits send
+// every query through the certified approximate path (the approx request
+// block of docs/SERVING.md) and add an "approx" object to the results
+// JSON; without those flags the request stream and the output schema are
+// byte-identical to what they were before the tier existed.
+// --dump-preload writes the preloaded points as CSV, and
+// --oracle-snapshot=PATH reads such a CSV back as the ground truth for
+// per-query recall sampling: a query counts as a recall hit when its
+// returned distance is <= the oracle's sequential-scan NN distance over
+// the snapshot (within 1e-9 relative slack; mid-run inserts can only
+// shrink the returned distance, never invalidate the rule).
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/approx.h"
 #include "common/rng.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -67,6 +84,14 @@ struct Config {
   // config object so sharded bench runs are self-describing
   // (tools/bench_shard.sh sweeps it).
   size_t shards = 0;
+  // Approximate-tier knobs; default-constructed (disabled) keeps the
+  // request stream and the output schema byte-identical to the exact tier.
+  ApproxOptions approx;
+  // Write the preload points to this CSV path (empty = don't).
+  std::string dump_preload;
+  // Recall ground truth: a CSV of points (typically a --dump-preload file
+  // from an identically seeded run) scanned sequentially per query.
+  std::string oracle_snapshot;
 };
 
 // Gray et al. zipfian rank generator over [0, n); theta in [0, 1).
@@ -112,8 +137,32 @@ struct WorkerStats {
   // candidate sets), ids never do -- tools/bench_shard.sh gates on this
   // being identical across its whole K sweep.
   uint64_t id_checksum = 0;
+  // Approximate-tier certificate aggregates (only touched when the approx
+  // flags are set) and recall samples (only when an oracle is loaded).
+  uint64_t approx_approximate = 0;
+  uint64_t approx_terminated_early = 0;
+  uint64_t approx_truncated = 0;
+  uint64_t approx_leaf_visits = 0;
+  uint64_t recall_samples = 0;
+  uint64_t recall_hits = 0;
   std::vector<uint64_t> lat_us;
 };
+
+// Sequential-scan NN distance over the oracle snapshot -- the same ground
+// truth bench_recall uses, computed per sampled query.
+double OracleNnDist(const std::vector<std::vector<double>>& oracle,
+                    const std::vector<double>& q) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::vector<double>& p : oracle) {
+    double d2 = 0;
+    for (size_t i = 0; i < q.size(); ++i) {
+      const double diff = p[i] - q[i];
+      d2 += diff * diff;
+    }
+    best = std::min(best, d2);
+  }
+  return std::sqrt(best);
+}
 
 StatusOr<Client> Connect(const Config& cfg) {
   if (!cfg.socket_path.empty()) return Client::ConnectUnix(cfg.socket_path);
@@ -122,6 +171,7 @@ StatusOr<Client> Connect(const Config& cfg) {
 
 void Worker(const Config& cfg, size_t worker_id, size_t ops,
             const std::vector<std::vector<double>>* preload_points,
+            const std::vector<std::vector<double>>* oracle_points,
             Clock::time_point t0, WorkerStats* stats) {
   auto client = Connect(cfg);
   if (!client.ok()) {
@@ -182,13 +232,26 @@ void Worker(const Config& cfg, size_t worker_id, size_t ops,
           q[d] = base[d] + 0.01 * rng.NextGaussian();
         }
       }
-      auto r = client->Query(q);
+      auto r = cfg.approx.enabled() ? client->Query(q, cfg.approx)
+                                    : client->Query(q);
       st = r.status();
       if (r.ok()) {
         stats->checksum = stats->checksum * 0x9e3779b97f4a7c15ULL +
                           (r->id + 1) * 31 + r->candidates;
         stats->id_checksum =
             stats->id_checksum * 0x9e3779b97f4a7c15ULL + (r->id + 1);
+        if (cfg.approx.enabled() && r->has_certificate) {
+          stats->approx_approximate += r->certificate.approximate ? 1 : 0;
+          stats->approx_terminated_early +=
+              r->certificate.terminated_early ? 1 : 0;
+          stats->approx_truncated += r->certificate.truncated ? 1 : 0;
+          stats->approx_leaf_visits += r->certificate.leaf_visits;
+        }
+        if (!oracle_points->empty()) {
+          const double oracle_dist = OracleNnDist(*oracle_points, q);
+          ++stats->recall_samples;
+          if (r->dist <= oracle_dist * (1.0 + 1e-9)) ++stats->recall_hits;
+        }
       }
     }
 
@@ -268,6 +331,22 @@ int main(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--shards")) {
     cfg.shards = std::strtoul(v, nullptr, 10);
   }
+  if (const char* v = FlagValue(argc, argv, "--epsilon")) {
+    cfg.approx.epsilon = std::strtod(v, nullptr);
+    if (!(cfg.approx.epsilon >= 0.0)) {
+      std::fprintf(stderr, "loadgen: --epsilon must be >= 0\n");
+      return 2;
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "--max-visits")) {
+    cfg.approx.max_leaf_visits = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--dump-preload")) {
+    cfg.dump_preload = v;
+  }
+  if (const char* v = FlagValue(argc, argv, "--oracle-snapshot")) {
+    cfg.oracle_snapshot = v;
+  }
   bool stats_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) stats_only = true;
@@ -277,7 +356,9 @@ int main(int argc, char** argv) {
                  "usage: loadgen --socket=PATH [--tcp-port=N]"
                  " [--connections=N] [--ops=N] [--qps=R] [--mix=Q:I:D]"
                  " [--preload=N] [--dim=N] [--zipf=THETA] [--seed=S]"
-                 " [--label=STR] [--shards=K] [--stats]\n");
+                 " [--label=STR] [--shards=K] [--epsilon=E] [--max-visits=N]"
+                 " [--dump-preload=PATH] [--oracle-snapshot=PATH]"
+                 " [--stats]\n");
     return 2;
   }
   if (stats_only) {
@@ -338,14 +419,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!cfg.dump_preload.empty()) {
+    std::ofstream out(cfg.dump_preload);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n",
+                   cfg.dump_preload.c_str());
+      return 1;
+    }
+    out << "# loadgen preload snapshot: " << preload_points.size()
+        << " points, seed " << cfg.seed << "\n";
+    char num[64];
+    for (const std::vector<double>& p : preload_points) {
+      for (size_t d = 0; d < p.size(); ++d) {
+        // %.17g round-trips a double exactly, so the oracle scan sees the
+        // same coordinates the server was preloaded with.
+        std::snprintf(num, sizeof(num), "%.17g", p[d]);
+        out << (d == 0 ? "" : ",") << num;
+      }
+      out << "\n";
+    }
+  }
+
+  std::vector<std::vector<double>> oracle_points;
+  if (!cfg.oracle_snapshot.empty()) {
+    std::ifstream in(cfg.oracle_snapshot);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "loadgen: cannot open %s\n",
+                   cfg.oracle_snapshot.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::vector<double> p;
+      std::stringstream ss(line);
+      std::string field;
+      while (std::getline(ss, field, ',')) {
+        p.push_back(std::strtod(field.c_str(), nullptr));
+      }
+      if (p.size() != cfg.dim) {
+        std::fprintf(stderr, "loadgen: oracle snapshot dim %zu != --dim %zu\n",
+                     p.size(), cfg.dim);
+        return 1;
+      }
+      oracle_points.push_back(std::move(p));
+    }
+    if (oracle_points.empty()) {
+      std::fprintf(stderr, "loadgen: oracle snapshot %s has no points\n",
+                   cfg.oracle_snapshot.c_str());
+      return 1;
+    }
+  }
+
   std::vector<WorkerStats> stats(cfg.connections);
   std::vector<std::thread> threads;
   const Clock::time_point t0 = Clock::now();
   for (size_t w = 0; w < cfg.connections; ++w) {
     const size_t ops = cfg.ops / cfg.connections +
                        (w < cfg.ops % cfg.connections ? 1 : 0);
-    threads.emplace_back(Worker, cfg, w, ops, &preload_points, t0,
-                         &stats[w]);
+    threads.emplace_back(Worker, cfg, w, ops, &preload_points,
+                         &oracle_points, t0, &stats[w]);
   }
   for (std::thread& t : threads) t.join();
   const double elapsed_s =
@@ -367,15 +500,48 @@ int main(int argc, char** argv) {
     // independent of thread completion order.
     total.checksum ^= s.checksum;
     total.id_checksum ^= s.id_checksum;
+    total.approx_approximate += s.approx_approximate;
+    total.approx_terminated_early += s.approx_terminated_early;
+    total.approx_truncated += s.approx_truncated;
+    total.approx_leaf_visits += s.approx_leaf_visits;
+    total.recall_samples += s.recall_samples;
+    total.recall_hits += s.recall_hits;
     lat.insert(lat.end(), s.lat_us.begin(), s.lat_us.end());
   }
   std::sort(lat.begin(), lat.end());
+
+  // The "approx" results object only exists when an approximate-tier or
+  // recall flag was given, so default runs emit the pre-existing schema
+  // byte-for-byte (tools/bench_serve.sh diffs against it).
+  std::string approx_json;
+  if (cfg.approx.enabled() || !oracle_points.empty()) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"approx\":{\"approximate\":%llu,\"epsilon\":%.6f,"
+        "\"leaf_visits\":%llu,\"max_leaf_visits\":%llu,\"recall\":%.6f,"
+        "\"recall_hits\":%llu,\"recall_samples\":%llu,"
+        "\"terminated_early\":%llu,\"truncated\":%llu},",
+        static_cast<unsigned long long>(total.approx_approximate),
+        cfg.approx.epsilon,
+        static_cast<unsigned long long>(total.approx_leaf_visits),
+        static_cast<unsigned long long>(cfg.approx.max_leaf_visits),
+        total.recall_samples == 0
+            ? 1.0
+            : static_cast<double>(total.recall_hits) /
+                  static_cast<double>(total.recall_samples),
+        static_cast<unsigned long long>(total.recall_hits),
+        static_cast<unsigned long long>(total.recall_samples),
+        static_cast<unsigned long long>(total.approx_terminated_early),
+        static_cast<unsigned long long>(total.approx_truncated));
+    approx_json = buf;
+  }
 
   std::printf(
       "{\"label\":\"%s\",\"config\":{\"connections\":%zu,\"mix\":\"%llu:%llu:"
       "%llu\",\"ops\":%zu,\"preload\":%zu,\"qps\":%.1f,\"seed\":%llu,"
       "\"shards\":%zu,\"zipf\":%.3f},"
-      "\"results\":{\"checksum\":%llu,\"deletes\":%llu,\"elapsed_s\":%.3f,"
+      "\"results\":{%s\"checksum\":%llu,\"deletes\":%llu,\"elapsed_s\":%.3f,"
       "\"errors\":%llu,\"id_checksum\":%llu,\"inserts\":%llu,"
       "\"latency_us\":{\"p50\":%llu,"
       "\"p90\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu},\"ok\":%llu,"
@@ -386,7 +552,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cfg.weight_insert),
       static_cast<unsigned long long>(cfg.weight_delete), cfg.ops,
       cfg.preload, cfg.qps, static_cast<unsigned long long>(cfg.seed),
-      cfg.shards, cfg.zipf_theta,
+      cfg.shards, cfg.zipf_theta, approx_json.c_str(),
       static_cast<unsigned long long>(total.checksum),
       static_cast<unsigned long long>(total.deletes), elapsed_s,
       static_cast<unsigned long long>(total.errors),

@@ -1,0 +1,65 @@
+#ifndef NNCELL_COMMON_APPROX_H_
+#define NNCELL_COMMON_APPROX_H_
+
+#include <cstdint>
+
+// Approximate query tier: certified (1+epsilon) answers and bounded-effort
+// search. The knobs and the per-query certificate travel together through
+// NNCellIndex, ShardedIndex, the server protocol, the CLI, and loadgen.
+// Semantics, the exactness contract, and the tuning runbook live in
+// docs/APPROXIMATE.md; the constants below are drift-checked against that
+// document by tools/check_docs_links.sh.
+
+namespace nncell {
+
+// Recommended serving epsilon: the recall-vs-latency sweep in
+// BENCH_recall.json is gated on recall@10 >= 0.95 at this value.
+inline constexpr double kDefaultApproxEpsilon = 0.1;
+
+// Sentinel for ApproxOptions::max_leaf_visits: no effort budget.
+inline constexpr uint64_t kUnlimitedLeafVisits = 0;
+
+// Per-query knobs. Default-constructed options request the exact path:
+// epsilon == 0 and an unlimited budget are bit-identical to a plain
+// Query()/QueryBatch() call (ids, distances, candidates, metrics).
+struct ApproxOptions {
+  // Certified slack: the returned distance is at most (1+epsilon) times the
+  // true nearest distance (proved by the traversal's MINDIST bound, not by
+  // sampling). 0 means exact.
+  double epsilon = 0.0;
+  // Effort budget: maximum leaf pages the best-first traversal may scan
+  // before returning best-seen. kUnlimitedLeafVisits means no cap; a capped
+  // search carries no (1+epsilon) guarantee once it truncates.
+  uint64_t max_leaf_visits = kUnlimitedLeafVisits;
+
+  // True when any knob deviates from the exact defaults.
+  bool enabled() const {
+    return epsilon > 0.0 || max_leaf_visits != kUnlimitedLeafVisits;
+  }
+};
+
+// Per-query certificate, returned alongside every approximate-tier answer.
+// On the exact path it stays default-constructed (approximate == false,
+// everything zero).
+struct ApproxCertificate {
+  // The answer is not proven exact (== terminated_early || truncated).
+  bool approximate = false;
+  // The epsilon rule fired: the search stopped with the best-seen distance
+  // within (1+epsilon) of the tightest remaining MINDIST bound, before
+  // exactness was proven. Never set when epsilon == 0.
+  bool terminated_early = false;
+  // The leaf-visit budget ran out with unexplored subtrees remaining.
+  bool truncated = false;
+  // Leaf pages scanned by the best-first traversal (summed across shards).
+  uint64_t leaf_visits = 0;
+  // Lower bound (a distance, not squared) on the distance of every point
+  // the search did not examine. The uniform proof obligation is
+  // min(dist, bound) <= true nearest distance; when a single-index search
+  // stopped via the epsilon rule without truncating, additionally
+  // bound <= true distance and dist <= (1+epsilon) * bound.
+  double bound = 0.0;
+};
+
+}  // namespace nncell
+
+#endif  // NNCELL_COMMON_APPROX_H_

@@ -103,6 +103,15 @@ inline constexpr char kShardRebalanceMovedPoints[] =
 inline constexpr char kShardRecoveryDegraded[] =
     "shard.recovery.degraded_shards";
 
+// Approximate query tier (docs/APPROXIMATE.md).
+inline constexpr char kApproxQueryCount[] = "approx.query.count";
+inline constexpr char kApproxTerminatedEarly[] =
+    "approx.query.terminated_early";
+inline constexpr char kApproxTruncated[] = "approx.query.truncated";
+inline constexpr char kApproxLeafVisits[] = "approx.query.leaf_visits";
+inline constexpr char kApproxLeafVisitsPerQuery[] =
+    "approx.query.leaf_visits_per_query";
+
 // The registry registers exactly this set at construction, so a snapshot
 // always covers every metric (zeros included) and is deterministic.
 inline constexpr MetricDef kMetricDefs[] = {
@@ -220,6 +229,16 @@ inline constexpr MetricDef kMetricDefs[] = {
      "live points re-partitioned by installed rebalances"},
     {kShardRecoveryDegraded, Kind::kCounter, "shards",
      "shards that failed to open or reconcile and were degraded"},
+    {kApproxQueryCount, Kind::kCounter, "queries",
+     "queries answered by the approximate-tier best-first traversal"},
+    {kApproxTerminatedEarly, Kind::kCounter, "queries",
+     "approximate queries stopped by the (1+epsilon) certificate rule"},
+    {kApproxTruncated, Kind::kCounter, "queries",
+     "approximate queries that exhausted the leaf-visit budget"},
+    {kApproxLeafVisits, Kind::kCounter, "pages",
+     "leaf pages scanned by approximate-tier traversals"},
+    {kApproxLeafVisitsPerQuery, Kind::kHistogram, "pages",
+     "leaf pages scanned per approximate query"},
 };
 
 inline constexpr size_t kNumMetricDefs =

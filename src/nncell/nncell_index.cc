@@ -53,6 +53,27 @@ struct QueryMetrics {
   return m;
 }
 
+// Registry handles for the approximate query tier.
+struct ApproxQueryMetrics {
+  metrics::Counter* count;
+  metrics::Counter* terminated_early;
+  metrics::Counter* truncated;
+  metrics::Counter* leaf_visits;
+  metrics::Histogram* leaf_visits_per_query;
+};
+
+[[maybe_unused]] const ApproxQueryMetrics& ApproxMetrics() {
+  static const ApproxQueryMetrics m = {
+      metrics::Registry::Global().counter(metrics::kApproxQueryCount),
+      metrics::Registry::Global().counter(metrics::kApproxTerminatedEarly),
+      metrics::Registry::Global().counter(metrics::kApproxTruncated),
+      metrics::Registry::Global().counter(metrics::kApproxLeafVisits),
+      metrics::Registry::Global().histogram(
+          metrics::kApproxLeafVisitsPerQuery),
+  };
+  return m;
+}
+
 }  // namespace
 
 namespace {
@@ -658,6 +679,114 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::QueryBatch(
     if (!st.ok()) return st;
   }
   return results;
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::
+    ApproxTraversalQuery(const double* q_original, size_t k,
+                         const ApproxOptions& approx) const {
+  if (live_count_ == 0) return Status::FailedPrecondition("index is empty");
+  std::vector<QueryResult> results;
+  if (k == 0) return results;
+  k = std::min(k, live_count_);
+  std::vector<double> q_vec = ToMetricSpace(q_original);
+
+  // Certified / bounded best-first search over the point X-tree. The cell
+  // index cannot drive this tier: a cell approximation's MINDIST does not
+  // lower-bound its owner's distance (the true NN's cell contains q with
+  // MINDIST 0), so the (1+epsilon) proof runs against the points
+  // themselves. Entry MINDIST on a degenerate (point) rectangle is
+  // bit-equal to the pair distance kernel.
+  RTreeCore::ApproxNnResult r = point_tree_->ApproxNnQuery(
+      q_vec.data(), k, approx.epsilon, approx.max_leaf_visits);
+  NNCELL_CHECK(!r.hits.empty());
+
+  ApproxCertificate cert;
+  cert.terminated_early = r.terminated_early;
+  cert.truncated = r.truncated;
+  cert.approximate = r.terminated_early || r.truncated;
+  cert.leaf_visits = r.leaf_visits;
+  cert.bound = std::sqrt(r.bound_sq);
+
+  NNCELL_METRIC_COUNT(ApproxMetrics().count, 1);
+  NNCELL_METRIC_COUNT(ApproxMetrics().terminated_early,
+                      r.terminated_early ? 1 : 0);
+  NNCELL_METRIC_COUNT(ApproxMetrics().truncated, r.truncated ? 1 : 0);
+  NNCELL_METRIC_COUNT(ApproxMetrics().leaf_visits, r.leaf_visits);
+  NNCELL_METRIC_RECORD(ApproxMetrics().leaf_visits_per_query, r.leaf_visits);
+
+  results.reserve(r.hits.size());
+  for (const RTreeCore::ApproxNnResult::Hit& h : r.hits) {
+    QueryResult res;
+    res.id = h.id;
+    res.dist = std::sqrt(h.dist_sq);
+    const double* p = points_[h.id];
+    res.point = FromMetricSpace(std::vector<double>(p, p + dim_));
+    res.candidates = r.entries_scanned;
+    res.approx = cert;
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
+    const double* q_original, const ApproxOptions& approx) const {
+  if (!approx.enabled()) return Query(q_original);
+  StatusOr<std::vector<QueryResult>> r =
+      ApproxTraversalQuery(q_original, 1, approx);
+  if (!r.ok()) return r.status();
+  return std::move(r->front());
+}
+
+StatusOr<NNCellIndex::QueryResult> NNCellIndex::Query(
+    const std::vector<double>& q, const ApproxOptions& approx) const {
+  NNCELL_CHECK(q.size() == dim_);
+  return Query(q.data(), approx);
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::QueryBatch(
+    const PointSet& queries, const ApproxOptions& approx) const {
+  if (!approx.enabled()) return QueryBatch(queries);
+  if (queries.dim() != dim_) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  if (live_count_ == 0) return Status::FailedPrecondition("index is empty");
+
+  const size_t n = queries.size();
+  std::vector<QueryResult> results(n);
+  if (thread_pool_ == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      StatusOr<QueryResult> r = Query(queries[i], approx);
+      if (!r.ok()) return r.status();
+      results[i] = std::move(*r);
+    }
+    return results;
+  }
+  std::vector<Status> errors(n, Status::OK());
+  thread_pool_->ParallelFor(0, n, [&](size_t i) {
+    StatusOr<QueryResult> r = Query(queries[i], approx);
+    if (r.ok()) {
+      results[i] = std::move(*r);
+    } else {
+      errors[i] = r.status();
+    }
+  });
+  for (const Status& st : errors) {
+    if (!st.ok()) return st;
+  }
+  return results;
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(
+    const double* q_original, size_t k, const ApproxOptions& approx) const {
+  if (!approx.enabled()) return KnnQuery(q_original, k);
+  return ApproxTraversalQuery(q_original, k, approx);
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(
+    const std::vector<double>& q, size_t k,
+    const ApproxOptions& approx) const {
+  NNCELL_CHECK(q.size() == dim_);
+  return KnnQuery(q.data(), k, approx);
 }
 
 StatusOr<std::vector<NNCellIndex::QueryResult>> NNCellIndex::KnnQuery(

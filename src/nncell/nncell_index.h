@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/approx.h"
 #include "common/hyper_rect.h"
 #include "common/point_set.h"
 #include "common/status.h"
@@ -164,6 +165,8 @@ class NNCellIndex {
     std::vector<double> point;    // its coordinates
     size_t candidates = 0;        // candidate cells inspected
     bool used_fallback = false;   // numeric edge case: fell back to scan
+    ApproxCertificate approx;     // default (exact) unless ApproxOptions
+                                  // requested the approximate tier
   };
 
   // Nearest-neighbor query = point query on the approximation index plus
@@ -187,6 +190,28 @@ class NNCellIndex {
   // the shared buffer pool; results are identical to a serial loop of
   // Query() calls. Several threads may call QueryBatch concurrently.
   StatusOr<std::vector<QueryResult>> QueryBatch(const PointSet& queries) const;
+
+  // Approximate query tier (docs/APPROXIMATE.md): certified (1+epsilon)
+  // answers and bounded-effort search via best-first traversal of the
+  // point X-tree. Exactness contract: when !approx.enabled() (epsilon ==
+  // 0 and no budget) these dispatch to the exact overloads above and are
+  // bit-identical to them (ids, distances, candidates, metrics). When
+  // enabled, the answer's certificate is populated: min(dist, approx.bound)
+  // lower-bounds the true NN distance, an untruncated search additionally
+  // guarantees dist <= (1+epsilon) * true distance, and a truncated search
+  // returns best-seen with approx.approximate == true. Same thread-safety
+  // as the exact overloads.
+  StatusOr<QueryResult> Query(const double* q,
+                              const ApproxOptions& approx) const;
+  StatusOr<QueryResult> Query(const std::vector<double>& q,
+                              const ApproxOptions& approx) const;
+  StatusOr<std::vector<QueryResult>> QueryBatch(
+      const PointSet& queries, const ApproxOptions& approx) const;
+  StatusOr<std::vector<QueryResult>> KnnQuery(
+      const double* q, size_t k, const ApproxOptions& approx) const;
+  StatusOr<std::vector<QueryResult>> KnnQuery(
+      const std::vector<double>& q, size_t k,
+      const ApproxOptions& approx) const;
 
   // Reconfigures the thread count for the parallel phases (e.g. after
   // Load, which restores with the serial default). Not thread-safe: call
@@ -387,6 +412,13 @@ class NNCellIndex {
   std::unique_ptr<PageFile> point_file_;
   std::unique_ptr<BufferPool> point_pool_;
   std::unique_ptr<RTreeCore> point_tree_;
+
+  // Shared engine of the approximate-tier overloads: certified /
+  // bounded-effort best-first k-NN on point_tree_ (requires
+  // approx.enabled(); the public overloads dispatch to the exact path
+  // otherwise).
+  StatusOr<std::vector<QueryResult>> ApproxTraversalQuery(
+      const double* q_original, size_t k, const ApproxOptions& approx) const;
 
   std::vector<std::vector<HyperRect>> cell_rects_;  // per point id
   std::vector<bool> alive_;                          // tombstones

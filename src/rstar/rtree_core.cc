@@ -468,6 +468,103 @@ std::vector<RTreeCore::KnnResult> RTreeCore::KnnQuery(const double* q,
   return results;
 }
 
+RTreeCore::ApproxNnResult RTreeCore::ApproxNnQuery(
+    const double* q, size_t k, double epsilon,
+    uint64_t max_leaf_visits) const {
+  ApproxNnResult out;
+  if (k == 0 || size_ == 0) return out;
+  const size_t d = options_.dim;
+  const double slack_sq = (1.0 + epsilon) * (1.0 + epsilon);
+
+  // Frontier of unexplored subtrees, nearest MINDIST first.
+  struct NodeItem {
+    double dist_sq;
+    PageId pid;
+  };
+  struct NodeCmp {
+    bool operator()(const NodeItem& a, const NodeItem& b) const {
+      return a.dist_sq > b.dist_sq;
+    }
+  };
+  std::priority_queue<NodeItem, std::vector<NodeItem>, NodeCmp> nodes;
+
+  // Current k best entries as a max-heap on (dist_sq, id): the root is the
+  // entry an improvement evicts, so at equal distance the larger id goes
+  // first and the surviving set matches the exact scan's smaller-id-wins
+  // tie-break.
+  using Hit = ApproxNnResult::Hit;
+  std::vector<Hit> best;
+  best.reserve(k);
+  auto closer = [](const Hit& a, const Hit& b) {
+    return a.dist_sq < b.dist_sq || (a.dist_sq == b.dist_sq && a.id < b.id);
+  };
+
+  nodes.push(NodeItem{0.0, root_});
+  bool exhausted = false;
+  while (true) {
+    if (nodes.empty()) {
+      exhausted = true;
+      break;
+    }
+    const NodeItem top = nodes.top();
+    if (best.size() == k) {
+      const double kth = best.front().dist_sq;
+      if (kth <= top.dist_sq) {
+        // Proven exact: no unexplored subtree can improve or tie-break in.
+        out.bound_sq = top.dist_sq;
+        break;
+      }
+      if (kth <= slack_sq * top.dist_sq) {
+        // Certified: the k-th best is within (1+epsilon) of everything the
+        // search would still look at.
+        out.bound_sq = top.dist_sq;
+        out.terminated_early = true;
+        break;
+      }
+    }
+    nodes.pop();
+    bool is_leaf =
+        store_.VisitNode(top.pid, [&](const EntryView& e, bool leaf) {
+          double dist_sq = RawMinDistSq(e.lo, e.hi, q, d);
+          if (leaf) {
+            ++out.entries_scanned;
+            Hit h{e.id, dist_sq};
+            if (best.size() < k) {
+              best.push_back(h);
+              std::push_heap(best.begin(), best.end(), closer);
+            } else if (closer(h, best.front())) {
+              std::pop_heap(best.begin(), best.end(), closer);
+              best.back() = h;
+              std::push_heap(best.begin(), best.end(), closer);
+            }
+          } else if (best.size() < k || dist_sq <= best.front().dist_sq) {
+            // Keep subtrees at exactly the k-th distance: they may hold an
+            // equal-distance entry with a smaller id.
+            nodes.push(NodeItem{dist_sq, static_cast<PageId>(e.id)});
+          }
+        });
+    NNCELL_METRIC_COUNT(Metrics().node_visits, 1);
+    if (is_leaf) {
+      NNCELL_METRIC_COUNT(Metrics().leaf_visits, 1);
+      ++out.leaf_visits;
+      if (max_leaf_visits != 0 && out.leaf_visits >= max_leaf_visits &&
+          !nodes.empty()) {
+        out.bound_sq = nodes.top().dist_sq;
+        out.truncated = true;
+        break;
+      }
+    }
+  }
+  if (exhausted && !best.empty()) {
+    // Every entry was scored or pruned against a k-th best no larger than
+    // the final one, so the k-th best distance bounds the pruned remainder.
+    out.bound_sq = best.front().dist_sq;
+  }
+  std::sort(best.begin(), best.end(), closer);
+  out.hits = std::move(best);
+  return out;
+}
+
 std::optional<RTreeCore::KnnResult> RTreeCore::NnBranchAndBound(
     const double* q) const {
   if (size_ == 0) return std::nullopt;

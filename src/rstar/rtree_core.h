@@ -90,6 +90,32 @@ class RTreeCore {
   // Best-first search [HS 95]: optimal in page accesses.
   std::vector<KnnResult> KnnQuery(const double* q, size_t k) const;
 
+  // Certified / bounded-effort best-first k-NN (the approximate query
+  // tier, docs/APPROXIMATE.md). Same [HS 95] traversal as KnnQuery plus:
+  //   - epsilon rule: stop once the k-th best squared distance is within
+  //     (1+epsilon)^2 of the tightest remaining subtree MINDIST;
+  //   - effort budget: stop after max_leaf_visits leaf pages (0 = none);
+  //   - a per-query certificate (bound on unvisited entries, leaf pages
+  //     scanned, how the search ended).
+  // Ties at equal distance resolve to the smaller id, matching the exact
+  // scan's ordering. With epsilon == 0 and no budget the hits equal the
+  // true k nearest (callers still dispatch to the exact path for
+  // bit-identity of metrics and candidate accounting).
+  struct ApproxNnResult {
+    struct Hit {
+      uint64_t id = 0;
+      double dist_sq = 0.0;
+    };
+    std::vector<Hit> hits;         // ascending (dist_sq, id), up to k
+    uint64_t leaf_visits = 0;      // leaf pages scanned
+    uint64_t entries_scanned = 0;  // leaf entries scored
+    double bound_sq = 0.0;         // squared lower bound on unvisited entries
+    bool terminated_early = false; // epsilon rule fired before exactness
+    bool truncated = false;        // budget ran out with subtrees pending
+  };
+  ApproxNnResult ApproxNnQuery(const double* q, size_t k, double epsilon,
+                               uint64_t max_leaf_visits) const;
+
   // Nearest neighbor by the depth-first branch-and-bound of [RKV 95]:
   // children sorted by MINDIST, pruned with MINMAXDIST. This is the
   // "classic NN search" of the paper's evaluation -- it sorts and scores

@@ -131,6 +131,33 @@ StatusOr<std::vector<WireQueryResult>> Client::QueryBatch(
   return results;
 }
 
+StatusOr<WireQueryResult> Client::Query(const std::vector<double>& point,
+                                        const ApproxOptions& approx) {
+  std::string payload;
+  EncodePointPayloadWithApprox(point, approx, &payload);
+  std::string resp;
+  std::string_view body;
+  NNCELL_RETURN_IF_ERROR(Roundtrip(kReqQuery, payload, &resp, &body));
+  WireQueryResult result;
+  NNCELL_RETURN_IF_ERROR(
+      DecodeQueryResultBody(body, &result, /*expect_certificate=*/true));
+  return result;
+}
+
+StatusOr<std::vector<WireQueryResult>> Client::QueryBatch(
+    const std::vector<std::vector<double>>& points,
+    const ApproxOptions& approx) {
+  std::string payload;
+  EncodeBatchPayloadWithApprox(points, approx, &payload);
+  std::string resp;
+  std::string_view body;
+  NNCELL_RETURN_IF_ERROR(Roundtrip(kReqQueryBatch, payload, &resp, &body));
+  std::vector<WireQueryResult> results;
+  NNCELL_RETURN_IF_ERROR(
+      DecodeQueryBatchResultBody(body, &results, /*expect_certificate=*/true));
+  return results;
+}
+
 StatusOr<uint64_t> Client::Insert(const std::vector<double>& point) {
   std::string payload;
   EncodePointPayload(point, &payload);

@@ -39,6 +39,15 @@ class Client {
   StatusOr<WireQueryResult> Query(const std::vector<double>& point);
   StatusOr<std::vector<WireQueryResult>> QueryBatch(
       const std::vector<std::vector<double>>& points);
+  // Approximate-tier variants: append the approx request block and expect
+  // a certificate per result (has_certificate set on every returned
+  // WireQueryResult). Passing default-constructed options requests the
+  // exact answer with an explicit (trivial) certificate attached.
+  StatusOr<WireQueryResult> Query(const std::vector<double>& point,
+                                  const ApproxOptions& approx);
+  StatusOr<std::vector<WireQueryResult>> QueryBatch(
+      const std::vector<std::vector<double>>& points,
+      const ApproxOptions& approx);
   StatusOr<uint64_t> Insert(const std::vector<double>& point);
   Status Delete(uint64_t id);
   StatusOr<std::string> StatsJson();

@@ -1,5 +1,7 @@
 #include "server/frame.h"
 
+#include <limits>
+
 #include "common/crc32c.h"
 #include "storage/wire.h"
 
@@ -128,6 +130,99 @@ Status DecodeBatchPayload(std::string_view payload, size_t* dim,
   return Status::OK();
 }
 
+namespace {
+
+void AppendApproxBlock(const ApproxOptions& approx, std::string* out) {
+  wire::PutF64(out, approx.epsilon);
+  wire::PutU64(out, approx.max_leaf_visits);
+}
+
+// Reads the kApproxRequestBytes trailing block. The bytes are untrusted:
+// a NaN / infinite / negative epsilon would poison every distance
+// comparison downstream, so they are malformed here.
+Status ReadApproxBlock(wire::Reader* r, ApproxOptions* approx) {
+  if (!r->GetF64(&approx->epsilon) || !r->GetU64(&approx->max_leaf_visits)) {
+    return Status::InvalidArgument("approx block: truncated");
+  }
+  if (!(approx->epsilon >= 0.0) ||
+      approx->epsilon > std::numeric_limits<double>::max()) {
+    return Status::InvalidArgument("approx block: bad epsilon");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodePointPayloadWithApprox(const std::vector<double>& point,
+                                  const ApproxOptions& approx,
+                                  std::string* out) {
+  EncodePointPayload(point, out);
+  AppendApproxBlock(approx, out);
+}
+
+Status DecodePointPayloadWithApprox(std::string_view payload,
+                                    std::vector<double>* out,
+                                    ApproxOptions* approx, bool* has_approx) {
+  wire::Reader r(Bytes(payload), payload.size());
+  uint32_t dim = 0;
+  if (!r.GetU32(&dim)) return Status::InvalidArgument("point: truncated");
+  if (dim == 0 || dim > kMaxPointDim) {
+    return Status::InvalidArgument("point: bad dimension " +
+                                   std::to_string(dim));
+  }
+  const size_t coords = dim * sizeof(double);
+  if (r.remaining() != coords && r.remaining() != coords + kApproxRequestBytes) {
+    return Status::InvalidArgument("point: payload size mismatch");
+  }
+  *has_approx = r.remaining() == coords + kApproxRequestBytes;
+  out->assign(dim, 0.0);
+  for (double& v : *out) {
+    if (!r.GetF64(&v)) return Status::InvalidArgument("point: truncated");
+  }
+  *approx = ApproxOptions{};
+  if (*has_approx) NNCELL_RETURN_IF_ERROR(ReadApproxBlock(&r, approx));
+  return Status::OK();
+}
+
+void EncodeBatchPayloadWithApprox(
+    const std::vector<std::vector<double>>& points,
+    const ApproxOptions& approx, std::string* out) {
+  EncodeBatchPayload(points, out);
+  AppendApproxBlock(approx, out);
+}
+
+Status DecodeBatchPayloadWithApprox(std::string_view payload, size_t* dim,
+                                    std::vector<double>* flat, size_t* count,
+                                    ApproxOptions* approx, bool* has_approx) {
+  wire::Reader r(Bytes(payload), payload.size());
+  uint32_t n = 0;
+  uint32_t d = 0;
+  if (!r.GetU32(&n) || !r.GetU32(&d)) {
+    return Status::InvalidArgument("batch: truncated");
+  }
+  if (n == 0 || n > kMaxBatchQueries) {
+    return Status::InvalidArgument("batch: bad count " + std::to_string(n));
+  }
+  if (d == 0 || d > kMaxPointDim) {
+    return Status::InvalidArgument("batch: bad dimension " +
+                                   std::to_string(d));
+  }
+  const size_t coords = static_cast<size_t>(n) * d * sizeof(double);
+  if (r.remaining() != coords && r.remaining() != coords + kApproxRequestBytes) {
+    return Status::InvalidArgument("batch: payload size mismatch");
+  }
+  *has_approx = r.remaining() == coords + kApproxRequestBytes;
+  flat->assign(static_cast<size_t>(n) * d, 0.0);
+  for (double& v : *flat) {
+    if (!r.GetF64(&v)) return Status::InvalidArgument("batch: truncated");
+  }
+  *approx = ApproxOptions{};
+  if (*has_approx) NNCELL_RETURN_IF_ERROR(ReadApproxBlock(&r, approx));
+  *dim = d;
+  *count = n;
+  return Status::OK();
+}
+
 void EncodeDeletePayload(uint64_t id, std::string* out) {
   wire::PutU64(out, id);
 }
@@ -160,9 +255,17 @@ void AppendQueryResult(const WireQueryResult& r, std::string* out) {
   wire::PutU8(out, r.used_fallback);
   wire::PutU32(out, static_cast<uint32_t>(r.point.size()));
   for (double v : r.point) wire::PutF64(out, v);
+  if (r.has_certificate) {
+    wire::PutU8(out, r.certificate.approximate);
+    wire::PutU8(out, r.certificate.terminated_early);
+    wire::PutU8(out, r.certificate.truncated);
+    wire::PutU64(out, r.certificate.leaf_visits);
+    wire::PutF64(out, r.certificate.bound);
+  }
 }
 
-Status ReadQueryResult(wire::Reader* r, WireQueryResult* out) {
+Status ReadQueryResult(wire::Reader* r, WireQueryResult* out,
+                       bool expect_certificate) {
   uint32_t dim = 0;
   if (!r->GetU64(&out->id) || !r->GetF64(&out->dist) ||
       !r->GetU32(&out->candidates) || !r->GetU8(&out->used_fallback) ||
@@ -176,6 +279,17 @@ Status ReadQueryResult(wire::Reader* r, WireQueryResult* out) {
   for (double& v : out->point) {
     if (!r->GetF64(&v)) {
       return Status::InvalidArgument("query result: truncated");
+    }
+  }
+  out->has_certificate = expect_certificate;
+  out->certificate = WireApproxCertificate{};
+  if (expect_certificate) {
+    if (!r->GetU8(&out->certificate.approximate) ||
+        !r->GetU8(&out->certificate.terminated_early) ||
+        !r->GetU8(&out->certificate.truncated) ||
+        !r->GetU64(&out->certificate.leaf_visits) ||
+        !r->GetF64(&out->certificate.bound)) {
+      return Status::InvalidArgument("query result: truncated certificate");
     }
   }
   return Status::OK();
@@ -226,9 +340,10 @@ Status DecodeStatusPayload(std::string_view payload, uint8_t* status,
   return Status::OK();
 }
 
-Status DecodeQueryResultBody(std::string_view body, WireQueryResult* out) {
+Status DecodeQueryResultBody(std::string_view body, WireQueryResult* out,
+                             bool expect_certificate) {
   wire::Reader r(Bytes(body), body.size());
-  NNCELL_RETURN_IF_ERROR(ReadQueryResult(&r, out));
+  NNCELL_RETURN_IF_ERROR(ReadQueryResult(&r, out, expect_certificate));
   if (r.remaining() != 0) {
     return Status::InvalidArgument("query result: trailing bytes");
   }
@@ -236,7 +351,8 @@ Status DecodeQueryResultBody(std::string_view body, WireQueryResult* out) {
 }
 
 Status DecodeQueryBatchResultBody(std::string_view body,
-                                  std::vector<WireQueryResult>* out) {
+                                  std::vector<WireQueryResult>* out,
+                                  bool expect_certificate) {
   wire::Reader r(Bytes(body), body.size());
   uint32_t n = 0;
   if (!r.GetU32(&n)) return Status::InvalidArgument("batch result: truncated");
@@ -245,7 +361,7 @@ Status DecodeQueryBatchResultBody(std::string_view body,
   }
   out->assign(n, WireQueryResult());
   for (WireQueryResult& qr : *out) {
-    NNCELL_RETURN_IF_ERROR(ReadQueryResult(&r, &qr));
+    NNCELL_RETURN_IF_ERROR(ReadQueryResult(&r, &qr, expect_certificate));
   }
   if (r.remaining() != 0) {
     return Status::InvalidArgument("batch result: trailing bytes");

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/approx.h"
 #include "common/status.h"
 #include "server/protocol.h"
 
@@ -50,6 +51,27 @@ void EncodeBatchPayload(const std::vector<std::vector<double>>& points,
 Status DecodeBatchPayload(std::string_view payload, size_t* dim,
                           std::vector<double>* flat, size_t* count);
 
+// --- approximate query tier ------------------------------------------------
+// A QUERY / QUERY_BATCH request may append one optional approx block
+// (kApproxRequestBytes: f64 epsilon, u64 max_leaf_visits) after the
+// coordinates. The Decode*WithApprox variants accept payloads with or
+// without the block and report which form arrived; the With variants of
+// the encoders always append it. INSERT payloads never carry the block
+// (DecodePointPayload stays exact-size).
+
+void EncodePointPayloadWithApprox(const std::vector<double>& point,
+                                  const ApproxOptions& approx,
+                                  std::string* out);
+Status DecodePointPayloadWithApprox(std::string_view payload,
+                                    std::vector<double>* out,
+                                    ApproxOptions* approx, bool* has_approx);
+void EncodeBatchPayloadWithApprox(
+    const std::vector<std::vector<double>>& points,
+    const ApproxOptions& approx, std::string* out);
+Status DecodeBatchPayloadWithApprox(std::string_view payload, size_t* dim,
+                                    std::vector<double>* flat, size_t* count,
+                                    ApproxOptions* approx, bool* has_approx);
+
 // DELETE payload: u64 id.
 void EncodeDeletePayload(uint64_t id, std::string* out);
 Status DecodeDeletePayload(std::string_view payload, uint64_t* id);
@@ -59,18 +81,41 @@ Status DecodeDeletePayload(std::string_view payload, uint64_t* id);
 // kStatusOk payload continues with the type-specific body below; any other
 // status continues with u32 message_len + message bytes.
 
+// Approx certificate on the wire (kApproxCertificateBytes): u8
+// approximate, u8 terminated_early, u8 truncated, u64 leaf_visits, f64
+// bound. Present after a result if and only if the request carried the
+// approx block.
+struct WireApproxCertificate {
+  uint8_t approximate = 0;
+  uint8_t terminated_early = 0;
+  uint8_t truncated = 0;
+  uint64_t leaf_visits = 0;
+  double bound = 0.0;
+
+  bool operator==(const WireApproxCertificate& o) const {
+    return approximate == o.approximate &&
+           terminated_early == o.terminated_early &&
+           truncated == o.truncated && leaf_visits == o.leaf_visits &&
+           bound == o.bound;
+  }
+};
+
 // One NN answer: u64 id, f64 dist, u32 candidates, u8 used_fallback,
-// u32 dim, dim * f64 point coordinates.
+// u32 dim, dim * f64 point coordinates (+ optional certificate, above).
 struct WireQueryResult {
   uint64_t id = 0;
   double dist = 0.0;
   uint32_t candidates = 0;
   uint8_t used_fallback = 0;
   std::vector<double> point;
+  bool has_certificate = false;
+  WireApproxCertificate certificate;
 
   bool operator==(const WireQueryResult& o) const {
     return id == o.id && dist == o.dist && candidates == o.candidates &&
-           used_fallback == o.used_fallback && point == o.point;
+           used_fallback == o.used_fallback && point == o.point &&
+           has_certificate == o.has_certificate &&
+           (!has_certificate || certificate == o.certificate);
   }
 };
 
@@ -89,9 +134,16 @@ void EncodeStatsPayload(std::string_view json, std::string* out);
 // non-OK status also extracts the error message.
 Status DecodeStatusPayload(std::string_view payload, uint8_t* status,
                            std::string_view* body, std::string* message);
-Status DecodeQueryResultBody(std::string_view body, WireQueryResult* out);
+// `expect_certificate` mirrors whether the request carried the approx
+// block: the encoders append a certificate per result iff
+// r.has_certificate, and the decoders require one per result iff
+// expect_certificate (the batch body concatenates results, so presence
+// cannot be inferred from leftover bytes).
+Status DecodeQueryResultBody(std::string_view body, WireQueryResult* out,
+                             bool expect_certificate = false);
 Status DecodeQueryBatchResultBody(std::string_view body,
-                                  std::vector<WireQueryResult>* out);
+                                  std::vector<WireQueryResult>* out,
+                                  bool expect_certificate = false);
 Status DecodeInsertResultBody(std::string_view body, uint64_t* id);
 Status DecodeStatsBody(std::string_view body, std::string* json);
 

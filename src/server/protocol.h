@@ -66,6 +66,16 @@ inline constexpr uint32_t kMaxPointDim = 4096;
 // Max queries in one QUERY_BATCH frame.
 inline constexpr uint32_t kMaxBatchQueries = 1024;
 
+// Approximate query tier (docs/APPROXIMATE.md). A QUERY / QUERY_BATCH
+// request payload may carry one OPTIONAL trailing approx block after the
+// coordinates: f64 epsilon, u64 max_leaf_visits. When (and only when) the
+// request carried that block, every result in the response is followed by
+// a certificate block: u8 approximate, u8 terminated_early, u8 truncated,
+// u64 leaf_visits, f64 bound. Requests without the block produce
+// byte-identical responses to protocol version 1 before the tier existed.
+inline constexpr uint32_t kApproxRequestBytes = 16;
+inline constexpr uint32_t kApproxCertificateBytes = 19;
+
 }  // namespace server
 }  // namespace nncell
 

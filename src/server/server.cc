@@ -42,8 +42,8 @@ class PlainIndexBackend : public IndexBackend {
   size_t dim() const override { return index_->dim(); }
   bool durable() const override { return index_->durable(); }
   StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
-      const PointSet& queries) const override {
-    return index_->QueryBatch(queries);
+      const PointSet& queries, const ApproxOptions& approx) const override {
+    return index_->QueryBatch(queries, approx);
   }
   StatusOr<uint64_t> Insert(const std::vector<double>& point) override {
     return index_->Insert(point);
@@ -349,41 +349,68 @@ void NNCellServer::DispatcherLoop() {
 
 namespace {
 
-WireQueryResult ToWire(const NNCellIndex::QueryResult& r) {
+WireQueryResult ToWire(const NNCellIndex::QueryResult& r,
+                       bool with_certificate) {
   WireQueryResult w;
   w.id = r.id;
   w.dist = r.dist;
   w.candidates = static_cast<uint32_t>(r.candidates);
   w.used_fallback = r.used_fallback ? 1 : 0;
   w.point = r.point;
+  w.has_certificate = with_certificate;
+  if (with_certificate) {
+    w.certificate.approximate = r.approx.approximate ? 1 : 0;
+    w.certificate.terminated_early = r.approx.terminated_early ? 1 : 0;
+    w.certificate.truncated = r.approx.truncated ? 1 : 0;
+    w.certificate.leaf_visits = r.approx.leaf_visits;
+    w.certificate.bound = r.approx.bound;
+  }
   return w;
 }
 
 }  // namespace
 
 void NNCellServer::ExecuteQueryRun(std::vector<WorkItem>& run) {
-  // Decode every item first; only valid queries enter the batch.
+  // Decode every item first; only valid queries enter a batch. Consecutive
+  // items with identical approx knobs share one QueryBatch call, so
+  // traffic without the approx block (the common case, and every pre-tier
+  // client) coalesces into a single exact batch exactly as before.
   struct Decoded {
-    size_t first = 0;  // offset of this item's queries in the PointSet
+    size_t first = 0;  // offset of this item's queries in its group's batch
     size_t count = 0;  // 0 = decode failed, response already sent
+    size_t group = 0;  // index into `groups`
+    bool has_approx = false;  // request carried the block -> respond with
+                              // certificates
+  };
+  struct Group {
+    ApproxOptions approx;
+    PointSet batch;
+    std::vector<NNCellIndex::QueryResult> results;
+    Status status;
+    Group(size_t dim, const ApproxOptions& a) : approx(a), batch(dim) {}
   };
   std::vector<Decoded> decoded(run.size());
-  PointSet batch(backend_->dim());
+  std::vector<Group> groups;
+  groups.reserve(run.size());
   for (size_t i = 0; i < run.size(); ++i) {
     const WorkItem& item = run[i];
     const uint8_t resp_type = static_cast<uint8_t>(item.type | kRespBit);
     std::vector<double> flat;
     size_t dim = 0;
     size_t count = 0;
+    ApproxOptions approx;
+    bool has_approx = false;
     Status st;
     if (item.type == kReqQuery) {
       std::vector<double> point;
-      st = DecodePointPayload(item.payload, &point);
+      st = DecodePointPayloadWithApprox(item.payload, &point, &approx,
+                                        &has_approx);
       dim = point.size();
       count = 1;
       flat = std::move(point);
     } else {
-      st = DecodeBatchPayload(item.payload, &dim, &flat, &count);
+      st = DecodeBatchPayloadWithApprox(item.payload, &dim, &flat, &count,
+                                        &approx, &has_approx);
     }
     if (!st.ok()) {
       Count(completed_, m_completed_);
@@ -398,23 +425,29 @@ void NNCellServer::ExecuteQueryRun(std::vector<WorkItem>& run) {
                         ", index is " + std::to_string(backend_->dim()));
       continue;
     }
-    decoded[i].first = batch.size();
+    if (groups.empty() ||
+        groups.back().approx.epsilon != approx.epsilon ||
+        groups.back().approx.max_leaf_visits != approx.max_leaf_visits) {
+      groups.emplace_back(backend_->dim(), approx);
+    }
+    Group& g = groups.back();
+    decoded[i].group = groups.size() - 1;
+    decoded[i].has_approx = has_approx;
+    decoded[i].first = g.batch.size();
     decoded[i].count = count;
     for (size_t q = 0; q < count; ++q) {
-      batch.Add(flat.data() + q * dim);
+      g.batch.Add(flat.data() + q * dim);
     }
   }
 
-  std::vector<NNCellIndex::QueryResult> results;
-  Status batch_status = Status::OK();
-  if (batch.size() > 0) {
+  for (Group& g : groups) {
     NNCELL_METRIC_COUNT(m_batches_, 1);
-    NNCELL_METRIC_RECORD(m_batch_size_, batch.size());
-    auto r = backend_->QueryBatch(batch);
+    NNCELL_METRIC_RECORD(m_batch_size_, g.batch.size());
+    auto r = backend_->QueryBatch(g.batch, g.approx);
     if (r.ok()) {
-      results = std::move(*r);
+      g.results = std::move(*r);
     } else {
-      batch_status = r.status();
+      g.status = r.status();
     }
   }
 
@@ -422,20 +455,24 @@ void NNCellServer::ExecuteQueryRun(std::vector<WorkItem>& run) {
     if (decoded[i].count == 0) continue;  // already answered above
     const WorkItem& item = run[i];
     const uint8_t resp_type = static_cast<uint8_t>(item.type | kRespBit);
-    if (!batch_status.ok()) {
+    const Group& g = groups[decoded[i].group];
+    if (!g.status.ok()) {
       Count(completed_, m_completed_);
       RespondStatus(item.conn, resp_type, item.request_id, kStatusError,
-                    batch_status.message());
+                    g.status.message());
       continue;
     }
     std::string payload;
     if (item.type == kReqQuery) {
-      EncodeQueryResultPayload(ToWire(results[decoded[i].first]), &payload);
+      EncodeQueryResultPayload(
+          ToWire(g.results[decoded[i].first], decoded[i].has_approx),
+          &payload);
     } else {
       std::vector<WireQueryResult> rs;
       rs.reserve(decoded[i].count);
       for (size_t q = 0; q < decoded[i].count; ++q) {
-        rs.push_back(ToWire(results[decoded[i].first + q]));
+        rs.push_back(ToWire(g.results[decoded[i].first + q],
+                            decoded[i].has_approx));
       }
       EncodeQueryBatchResultPayload(rs, &payload);
     }

@@ -50,8 +50,11 @@ class IndexBackend {
   virtual ~IndexBackend() = default;
   virtual size_t dim() const = 0;
   virtual bool durable() const = 0;
+  // `approx` carries the request's approximate-tier knobs; a
+  // default-constructed value (the usual case) must take the exact path
+  // bit-identically (docs/APPROXIMATE.md).
   virtual StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
-      const PointSet& queries) const = 0;
+      const PointSet& queries, const ApproxOptions& approx) const = 0;
   virtual StatusOr<uint64_t> Insert(const std::vector<double>& point) = 0;
   virtual Status Delete(uint64_t id) = 0;
   virtual Status Checkpoint() = 0;

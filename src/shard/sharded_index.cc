@@ -390,7 +390,7 @@ bool ShardedIndex::IsAlive(uint64_t global_id) const {
 StatusOr<NNCellIndex::QueryResult> ShardedIndex::Query(
     const double* q) const {
   std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-  return QueryLocked(q);
+  return QueryLocked(q, ApproxOptions{});
 }
 
 StatusOr<NNCellIndex::QueryResult> ShardedIndex::Query(
@@ -399,8 +399,20 @@ StatusOr<NNCellIndex::QueryResult> ShardedIndex::Query(
   return Query(q.data());
 }
 
+StatusOr<NNCellIndex::QueryResult> ShardedIndex::Query(
+    const double* q, const ApproxOptions& approx) const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return QueryLocked(q, approx);
+}
+
+StatusOr<NNCellIndex::QueryResult> ShardedIndex::Query(
+    const std::vector<double>& q, const ApproxOptions& approx) const {
+  NNCELL_CHECK(q.size() == manifest_.dim);
+  return Query(q.data(), approx);
+}
+
 StatusOr<NNCellIndex::QueryResult> ShardedIndex::QueryLocked(
-    const double* q) const {
+    const double* q, const ApproxOptions& approx) const {
   size_t live = 0;
   for (const Shard& s : shards_) {
     if (s.index != nullptr) live += s.index->size();
@@ -438,20 +450,30 @@ StatusOr<NNCellIndex::QueryResult> ShardedIndex::QueryLocked(
   size_t probed = 0;
   size_t candidates = 0;
   bool fallback = false;
+  ApproxCertificate cert;
+  double cert_bound = std::numeric_limits<double>::infinity();
   for (size_t oi = 0; oi < order.size(); ++oi) {
     const Probe& pr = order[oi];
     if (have_best && pr.slab_d2 > best_d2 * kPruneSlack + kPruneSlackAbs) {
       NNCELL_METRIC_COUNT(m_pruned_, order.size() - oi);
+      // Every unprobed shard's points are at least its slab distance away,
+      // and later slabs are no closer than this one.
+      cert_bound = std::min(cert_bound, std::sqrt(pr.slab_d2));
       break;
     }
     const Shard& sh = shards_[pr.idx];
-    StatusOr<NNCellIndex::QueryResult> r = sh.index->Query(q);
+    StatusOr<NNCellIndex::QueryResult> r = sh.index->Query(q, approx);
     if (!r.ok()) return r.status();
     ++probed;
     // nncell-lint: allow(relaxed-atomics) monotonic stats counter; readers only ever see a point-in-time sum, no ordering with shard state
     probe_counts_[pr.idx]->fetch_add(1, std::memory_order_relaxed);
     candidates += r->candidates;
     fallback = fallback || r->used_fallback;
+    cert.approximate = cert.approximate || r->approx.approximate;
+    cert.terminated_early = cert.terminated_early || r->approx.terminated_early;
+    cert.truncated = cert.truncated || r->approx.truncated;
+    cert.leaf_visits += r->approx.leaf_visits;
+    cert_bound = std::min(cert_bound, r->approx.bound);
     // Exact merge key: the pair-kernel squared distance (bit-equal to the
     // shard's internal winner) plus the global id, exactly the unsharded
     // scan's comparison.
@@ -469,6 +491,10 @@ StatusOr<NNCellIndex::QueryResult> ShardedIndex::QueryLocked(
   NNCELL_CHECK(have_best);
   best.candidates = candidates;
   best.used_fallback = fallback;
+  if (approx.enabled()) {
+    cert.bound = cert_bound;
+    best.approx = cert;
+  }
   NNCELL_METRIC_RECORD(m_fanout_, probed);
   NNCELL_METRIC_COUNT(m_probes_, probed);
   return best;
@@ -476,6 +502,11 @@ StatusOr<NNCellIndex::QueryResult> ShardedIndex::QueryLocked(
 
 StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::QueryBatch(
     const PointSet& queries) const {
+  return QueryBatch(queries, ApproxOptions{});
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::QueryBatch(
+    const PointSet& queries, const ApproxOptions& approx) const {
   std::shared_lock<std::shared_mutex> lock(epoch_mu_);
   if (queries.dim() != manifest_.dim) {
     return Status::InvalidArgument("dimension mismatch");
@@ -484,7 +515,7 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::QueryBatch(
   std::vector<NNCellIndex::QueryResult> results(n);
   if (thread_pool_ == nullptr || n <= 1) {
     for (size_t i = 0; i < n; ++i) {
-      StatusOr<NNCellIndex::QueryResult> r = QueryLocked(queries[i]);
+      StatusOr<NNCellIndex::QueryResult> r = QueryLocked(queries[i], approx);
       if (!r.ok()) return r.status();
       results[i] = std::move(*r);
     }
@@ -492,7 +523,7 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::QueryBatch(
   }
   std::vector<Status> errors(n, Status::OK());
   thread_pool_->ParallelFor(0, n, [&](size_t i) {
-    StatusOr<NNCellIndex::QueryResult> r = QueryLocked(queries[i]);
+    StatusOr<NNCellIndex::QueryResult> r = QueryLocked(queries[i], approx);
     if (r.ok()) {
       results[i] = std::move(*r);
     } else {
@@ -506,7 +537,8 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::QueryBatch(
 }
 
 StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::MergeListQuery(
-    const double* q, size_t k, double radius, bool is_range) const {
+    const double* q, size_t k, double radius, bool is_range,
+    const ApproxOptions& approx) const {
   size_t live = 0;
   for (const Shard& s : shards_) {
     if (s.index != nullptr) live += s.index->size();
@@ -553,6 +585,8 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::MergeListQuery(
   const double radius_bound =
       is_range ? radius * radius * kPruneSlack + kPruneSlackAbs : 0.0;
   size_t probed = 0;
+  ApproxCertificate cert;
+  double cert_bound = std::numeric_limits<double>::infinity();
   for (size_t oi = 0; oi < order.size(); ++oi) {
     const Probe& pr = order[oi];
     bool skip;
@@ -565,14 +599,25 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::MergeListQuery(
     }
     if (skip) {
       NNCELL_METRIC_COUNT(m_pruned_, order.size() - oi);
+      // Every unprobed shard's points are at least its slab distance away,
+      // and later slabs are no closer than this one.
+      cert_bound = std::min(cert_bound, std::sqrt(pr.slab_d2));
       break;
     }
     const Shard& sh = shards_[pr.idx];
     StatusOr<std::vector<NNCellIndex::QueryResult>> r =
         is_range ? sh.index->RangeSearch(q, radius)
-                 : sh.index->KnnQuery(q, k);
+                 : sh.index->KnnQuery(q, k, approx);
     if (!r.ok()) return r.status();
     ++probed;
+    if (!r->empty()) {
+      const ApproxCertificate& sc = r->front().approx;
+      cert.approximate = cert.approximate || sc.approximate;
+      cert.terminated_early = cert.terminated_early || sc.terminated_early;
+      cert.truncated = cert.truncated || sc.truncated;
+      cert.leaf_visits += sc.leaf_visits;
+      cert_bound = std::min(cert_bound, sc.bound);
+    }
     // nncell-lint: allow(relaxed-atomics) monotonic stats counter; readers only ever see a point-in-time sum, no ordering with shard state
     probe_counts_[pr.idx]->fetch_add(1, std::memory_order_relaxed);
     for (NNCellIndex::QueryResult& res : *r) {
@@ -593,13 +638,17 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::MergeListQuery(
   NNCELL_METRIC_COUNT(m_probes_, probed);
   out.reserve(merged.size());
   for (Merged& m : merged) out.push_back(std::move(m.res));
+  if (approx.enabled()) {
+    cert.bound = cert_bound;
+    for (NNCellIndex::QueryResult& res : out) res.approx = cert;
+  }
   return out;
 }
 
 StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::KnnQuery(
     const double* q, size_t k) const {
   std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-  return MergeListQuery(q, k, 0.0, /*is_range=*/false);
+  return MergeListQuery(q, k, 0.0, /*is_range=*/false, ApproxOptions{});
 }
 
 StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::KnnQuery(
@@ -608,10 +657,23 @@ StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::KnnQuery(
   return KnnQuery(q.data(), k);
 }
 
+StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::KnnQuery(
+    const double* q, size_t k, const ApproxOptions& approx) const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return MergeListQuery(q, k, 0.0, /*is_range=*/false, approx);
+}
+
+StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::KnnQuery(
+    const std::vector<double>& q, size_t k,
+    const ApproxOptions& approx) const {
+  NNCELL_CHECK(q.size() == manifest_.dim);
+  return KnnQuery(q.data(), k, approx);
+}
+
 StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::RangeSearch(
     const double* q, double radius) const {
   std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-  return MergeListQuery(q, 0, radius, /*is_range=*/true);
+  return MergeListQuery(q, 0, radius, /*is_range=*/true, ApproxOptions{});
 }
 
 StatusOr<std::vector<NNCellIndex::QueryResult>> ShardedIndex::RangeSearch(
@@ -1174,7 +1236,8 @@ Status ShardedIndex::CheckInvariants(size_t sample_queries,
           }
         }
       }
-      StatusOr<NNCellIndex::QueryResult> r = QueryLocked(q.data());
+      StatusOr<NNCellIndex::QueryResult> r =
+          QueryLocked(q.data(), ApproxOptions{});
       if (!r.ok()) return r.status();
       if (r->id != best_gid) {
         return Status::Internal("sampled scatter-gather query returned a "

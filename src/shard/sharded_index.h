@@ -140,6 +140,27 @@ class ShardedIndex {
   StatusOr<std::vector<NNCellIndex::QueryResult>> RangeSearch(
       const std::vector<double>& q, double radius) const;
 
+  // Approximate query tier (docs/APPROXIMATE.md): every probed shard runs
+  // its certified / bounded-effort traversal with the same knobs, and the
+  // merged answer carries an aggregate certificate (leaf visits summed,
+  // flags OR'd, bound = min over probed shards' bounds and pruned shards'
+  // slab distances). The (1+epsilon) guarantee survives the merge: a
+  // pruned slab provably cannot beat the returned best, and the winning
+  // shard's own certificate covers its slab. When !approx.enabled() these
+  // dispatch to the exact overloads above, bit-identically. The leaf-visit
+  // budget applies per probed shard, not globally.
+  StatusOr<NNCellIndex::QueryResult> Query(const double* q,
+                                           const ApproxOptions& approx) const;
+  StatusOr<NNCellIndex::QueryResult> Query(const std::vector<double>& q,
+                                           const ApproxOptions& approx) const;
+  StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
+      const PointSet& queries, const ApproxOptions& approx) const;
+  StatusOr<std::vector<NNCellIndex::QueryResult>> KnnQuery(
+      const double* q, size_t k, const ApproxOptions& approx) const;
+  StatusOr<std::vector<NNCellIndex::QueryResult>> KnnQuery(
+      const std::vector<double>& q, size_t k,
+      const ApproxOptions& approx) const;
+
   // Routes to the owning shard, inserts there (WAL first), then journals
   // the (global id, shard) assignment in the router log. Returns the
   // global id. May trigger an online rebalance per ShardedOptions; the
@@ -220,9 +241,11 @@ class ShardedIndex {
   // Router recovery: snapshot + log replay + shard reconciliation.
   Status RecoverRouter(NNCellIndex::DurableOptions dopts, RecoveryInfo* info);
 
-  StatusOr<NNCellIndex::QueryResult> QueryLocked(const double* q) const;
+  StatusOr<NNCellIndex::QueryResult> QueryLocked(
+      const double* q, const ApproxOptions& approx) const;
   StatusOr<std::vector<NNCellIndex::QueryResult>> MergeListQuery(
-      const double* q, size_t k, double radius, bool is_range) const;
+      const double* q, size_t k, double radius, bool is_range,
+      const ApproxOptions& approx) const;
 
   bool ShouldAutoRebalance() const;
   Status RebalanceLocked(bool force);

@@ -43,10 +43,37 @@ m = snap["metrics"]
 assert m["query.nn.count"] > 0 and m["query.nn.candidates"] > 0, m
 assert m["index.tree.node_visits"] > 0 and m["lp.solver.runs"] > 0, m
 assert m["query.nn.candidates_per_query"]["count"] == m["query.nn.count"], m
+assert snap["approx"] == {"enabled": 0}, snap["approx"]
 PY
 "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --trace > "$DIR/trace.out"
 grep -c '^trace [0-9]*: {' "$DIR/trace.out" | grep -qx 5
 grep -q '"name":"index_probe"' "$DIR/trace.out"
+# approximate tier (docs/APPROXIMATE.md): with the knobs at their exact
+# defaults the output stays byte-identical to a plain query; enabling a
+# knob appends the certificate suffix to every line
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --epsilon=0 --max-visits=0 \
+  > "$DIR/exact_flags.out"
+cmp "$DIR/serial.out" "$DIR/exact_flags.out"
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --epsilon=0.2 > "$DIR/approx.out"
+grep -cE ' approx=[01] visits=[0-9]+ bound=[0-9]+\.[0-9]+$' "$DIR/approx.out" \
+  | grep -qx 5
+"$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --k=3 --max-visits=1 \
+  | grep -cE ' approx=1 visits=1 bound=' | grep -qx 5
+! "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --epsilon=bogus 2>/dev/null
+! "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --epsilon=-0.5 2>/dev/null
+! "$CLI" query "$DIR/idx.nncell" "$DIR/q.csv" --trace --epsilon=0.1 \
+  2>"$DIR/approx_err.out"
+grep -q -- "--trace cannot be combined with --epsilon/--max-visits" \
+  "$DIR/approx_err.out"
+"$CLI" stats "$DIR/idx.nncell" --json --epsilon=0.2 > "$DIR/stats_approx.json"
+python3 - "$DIR/stats_approx.json" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+a = snap["approx"]
+assert a["enabled"] == 1 and a["epsilon"] == 0.2, a
+assert a["queries"] > 0 and a["leaf_visits"] > 0, a
+assert a["approximate"] >= a["terminated_early"], a
+PY
 # durable mode: build a snapshot+WAL directory, answers must match the
 # single-file index exactly; checkpoint and recover report cleanly
 "$CLI" build "$DIR/pts.csv" "$DIR/dur" --algorithm=sphere --durable | grep -q "built durable"

@@ -1,0 +1,15 @@
+#include "common/approx.h"
+
+namespace nncell {
+
+// Marks the answer approximate but never records the evidence (how many
+// leaves were scanned, what bound the frontier proved), so the caller
+// cannot check the (1+epsilon) claim.
+ApproxCertificate MarkTruncated() {
+  ApproxCertificate cert;
+  cert.truncated = true;
+  cert.approximate = true;
+  return cert;
+}
+
+}  // namespace nncell

@@ -1,0 +1,25 @@
+#include <cmath>
+
+#include "common/approx.h"
+
+namespace nncell {
+
+// The full certificate travels together: the flag, the effort spent, and
+// the proven lower bound.
+ApproxCertificate FillCertificate(bool early, bool truncated,
+                                  uint64_t visits, double bound_sq) {
+  ApproxCertificate cert;
+  cert.terminated_early = early;
+  cert.truncated = truncated;
+  cert.approximate = early || truncated;
+  cert.leaf_visits = visits;
+  cert.bound = std::sqrt(bound_sq);
+  return cert;
+}
+
+// Comparisons are not assignments and do not need the evidence nearby.
+bool IsApproximate(const ApproxCertificate& cert) {
+  return cert.approximate == true;
+}
+
+}  // namespace nncell

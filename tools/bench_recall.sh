@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Approximate-tier recall bench driver (docs/APPROXIMATE.md).
+#
+#   tools/bench_recall.sh [--quick] [--update] [--build-dir DIR]
+#
+# Runs bench/bench_recall (building it first), then either gates the fresh
+# run against the committed BENCH_recall.json (default) or rewrites the
+# baseline (--update, full mode only). The gate compares only
+# deterministic integers -- the recall hit counts of every epsilon/budget
+# sweep point, the exact-mode bit-identity counter and the exact-answer
+# checksum -- and additionally enforces the recall floor: recall@10 at the
+# documented default epsilon must stay >= 0.95 at every dimension.
+# --quick runs fewer timing reps; the counted passes are identical, so
+# quick runs gate against the full baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+UPDATE=0
+BUILD_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --update) UPDATE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    *) echo "usage: $0 [--quick] [--update] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for d in build-dev build; do
+    if [[ -d "$d" ]]; then BUILD_DIR="$d"; break; fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -d "$BUILD_DIR" ]]; then
+  echo "no build directory found (configure with: cmake --preset dev)" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target bench_recall
+
+OUT="$BUILD_DIR/bench_recall_current.json"
+ARGS=()
+if [[ "$QUICK" == 1 ]]; then ARGS+=(--quick); fi
+"$BUILD_DIR/bench/bench_recall" "${ARGS[@]}" "--out=$OUT"
+
+if [[ "$UPDATE" == 1 ]]; then
+  if [[ "$QUICK" == 1 ]]; then
+    echo "--update requires a full run (reps affect the recorded wall times)" >&2
+    exit 2
+  fi
+  # Refuse to commit a baseline that fails its own recall floor.
+  python3 tools/bench_recall_diff.py "$OUT" "$OUT"
+  cp "$OUT" BENCH_recall.json
+  echo "BENCH_recall.json updated"
+  exit 0
+fi
+
+python3 tools/bench_recall_diff.py BENCH_recall.json "$OUT"

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate a bench_recall run against the committed BENCH_recall.json baseline.
+
+Two layers of gating, both over deterministic integers only (wall times
+are recorded for the human reader and never compared):
+
+ 1. Bit-identity with the baseline: per dimension config, the exact-mode
+    identity counter (`exact_match` must also equal the query count: the
+    approximate entry points answered bit-identically to the exact tier
+    for every query), the exact-answer checksum, and the recall@1 /
+    recall@10 hit counts of every epsilon- and budget-sweep point. Under
+    the FP-determinism contract (docs/KERNELS.md) these are a pure
+    function of the benched flags, so any drift is a behavior change.
+
+ 2. The recall floor of docs/APPROXIMATE.md: in the *current* run,
+    recall@10 at the documented default epsilon must be >= 0.95 at every
+    dimension. This keeps the default tuning honest even when the
+    baseline is being regenerated (--update self-gates through this
+    script with baseline == current).
+
+Exits 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+RECALL_FLOOR = 0.95
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, {c["name"]: c for c in doc["configs"]}
+
+
+def sweep_points(cfg):
+    """Yields (label, point) for every sweep point of one config."""
+    for p in cfg.get("epsilon_sweep", []):
+        yield f"eps={p['epsilon']}", p
+    for p in cfg.get("budget_sweep", []):
+        yield f"budget={p['max_leaf_visits']}", p
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_recall.json")
+    ap.add_argument("current", help="freshly produced bench_recall output")
+    args = ap.parse_args()
+
+    base_doc, committed = load(args.baseline)
+    cur_doc, current = load(args.current)
+
+    queries = cur_doc["queries"]
+    recall_k = cur_doc["recall_k"]
+    default_eps = cur_doc["default_epsilon"]
+    failures = []
+    compared = 0
+
+    for name, cur in sorted(current.items()):
+        # Exact-mode bit-identity is an absolute invariant of the current
+        # run, not just a diff against the baseline.
+        if cur["exact_match"] != queries:
+            failures.append(
+                f"{name}: exact_match {cur['exact_match']} != {queries} "
+                f"(approximate entry points diverged from the exact tier)")
+        ref = committed.get(name)
+        if ref is None:
+            print(f"  {name}: not in committed baseline, skipped")
+            continue
+        compared += 1
+        if cur["exact_checksum"] != ref["exact_checksum"]:
+            failures.append(
+                f"{name}: exact_checksum {cur['exact_checksum']} != "
+                f"committed {ref['exact_checksum']} (exact answers changed "
+                f"bit-for-bit)")
+        ref_points = dict(sweep_points(ref))
+        for label, p in sweep_points(cur):
+            rp = ref_points.get(label)
+            if rp is None:
+                print(f"  {name} {label}: not in baseline, skipped")
+                continue
+            for field in ("recall1_hits", "recall10_hits"):
+                if p[field] != rp[field]:
+                    failures.append(
+                        f"{name} {label}: {field} {p[field]} != committed "
+                        f"{rp[field]}")
+        # The floor applies to the current run at the default epsilon.
+        for p in cur.get("epsilon_sweep", []):
+            if p["epsilon"] != default_eps:
+                continue
+            recall10 = p["recall10_hits"] / (queries * recall_k)
+            status = "ok" if recall10 >= RECALL_FLOOR else "BELOW FLOOR"
+            print(f"  {name}: recall@10 at default eps={default_eps} is "
+                  f"{recall10:.4f} (floor {RECALL_FLOOR}) [{status}]")
+            if recall10 < RECALL_FLOOR:
+                failures.append(
+                    f"{name}: recall@10 {recall10:.4f} at default epsilon "
+                    f"{default_eps} below floor {RECALL_FLOOR}")
+
+    if compared == 0:
+        print("no overlapping configs between baseline and current run")
+        return 1
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nOK: {compared} config(s) match the baseline; recall floor "
+          f"holds at eps={default_eps}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,10 @@
 #     format constant (magic, version, size, op code, file/dir name) is
 #     documented with its exact value, and every constant the document
 #     names still exists.
+#  8. docs/APPROXIMATE.md and src/common/approx.h must agree: every
+#     approximate-tier constant (default epsilon, budget sentinel) is
+#     documented with its exact value, and every constant the document
+#     names still exists.
 #
 # Usage: check_docs_links.sh [repo-root]
 
@@ -338,12 +342,55 @@ for c in $shard_doc_consts; do
   fi
 done
 
+# --- 8. APPROXIMATE.md <-> approx.h ----------------------------------------
+
+approx_header="src/common/approx.h"
+approx_doc="docs/APPROXIMATE.md"
+
+for required in "$approx_header" "$approx_doc"; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING FILE: $required"
+    exit 1
+  fi
+done
+
+# Forward: every `kName = value` constant in the approx header must appear
+# in the document with its exact value.
+approx_doc_flat=$(tr -d '`' < "$approx_doc")
+n_approx_consts=0
+while read -r name value; do
+  [ -z "$name" ] && continue
+  n_approx_consts=$((n_approx_consts + 1))
+  value=$(printf '%s' "$value" | sed -E 's/U?L?L?$//')
+  if ! printf '%s' "$approx_doc_flat" | grep -qF "$name = $value"; then
+    echo "APPROX CONSTANT DRIFT: $approx_doc must state \"$name = $value\"" \
+         "(from $approx_header)"
+    fail=1
+  fi
+done <<EOF
+$(sed -nE 's/^inline constexpr [A-Za-z0-9_]+ (k[A-Za-z0-9]+)(\[\])? = ([^;]+);.*/\1 \3/p' "$approx_header")
+EOF
+
+# Reverse: every backticked kConstant the document names must still be
+# defined in the approx, protocol, or failpoint headers (APPROXIMATE.md
+# also describes the wire blocks, so protocol constants are legal there).
+approx_doc_consts=$(grep -oE '`k[A-Z][A-Za-z0-9]*`' "$approx_doc" \
+                    | tr -d '`' | sort -u)
+for c in $approx_doc_consts; do
+  if ! grep -qE "\b$c\b" "$approx_header" "$wire_header" "$fp_header"; then
+    echo "STALE DOC CONSTANT: $c (in $approx_doc, not defined in" \
+         "$approx_header, $wire_header, or $fp_header)"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   n_links=$(printf '%s\n' "$md_files" | wc -l | tr -d ' ')
   n_names=$(printf '%s\n' "$src_names" | wc -l | tr -d ' ')
   echo "docs check OK: $n_links markdown files, $n_names metrics," \
        "$n_consts format constants, $n_wire_consts wire constants," \
        "$n_lint_checks lint checks, $n_kern_consts kernel constants," \
-       "$n_shard_consts shard constants in sync"
+       "$n_shard_consts shard constants, $n_approx_consts approx" \
+       "constants in sync"
 fi
 exit "$fail"

@@ -4,9 +4,10 @@
 //                     [--decompose=K] [--xtree=0|1] [--threads=N] [--durable]
 //                     [--shards=K]
 //   nncell_cli query  <index.nncell|dir> <queries.csv> [--k=1] [--threads=N]
-//                     [--trace]
+//                     [--trace] [--epsilon=E] [--max-visits=N]
 //   nncell_cli stats  <index.nncell|dir> [--json] [--probe-queries=N]
-//                     [--lp-sample=N] [--seed=S]
+//                     [--lp-sample=N] [--seed=S] [--epsilon=E]
+//                     [--max-visits=N]
 //   nncell_cli checkpoint <dir>
 //   nncell_cli recover    <dir> [--dim=N]
 //   nncell_cli rebalance  <dir>
@@ -29,6 +30,16 @@
 // `query --trace` prints, after each result line, the per-stage timeline
 // of that query (index probe -> candidate distance scan -> fallback) as
 // one JSON object; see docs/OPERATIONS.md.
+//
+// `query --epsilon=E` answers from the approximate tier with a certified
+// (1+E)-approximate nearest neighbor; `--max-visits=N` caps the search at
+// N leaf pages (docs/APPROXIMATE.md). Either flag switches the result
+// lines to the approximate format (base line plus
+// ` approx=<0|1> visits=<pages> bound=<dist>`); with both flags absent the
+// output is byte-identical to the exact tier. `stats --json` accepts the
+// same two flags to run the probe workload through the approximate tier;
+// its "approx" object stays the constant {"enabled":0} when they are
+// absent.
 //
 // `stats --json` emits one stable JSON object ({"index":...,"metrics":...})
 // with the full metrics-registry snapshot after a deterministic probe
@@ -290,39 +301,55 @@ int Build(int argc, char** argv) {
   return 0;
 }
 
+// One result line: the exact-tier format, plus the certificate suffix
+// when the query ran through the approximate tier. The suffix is only
+// ever printed when `approx` is enabled, so exact-mode output stays
+// byte-identical to what it was before the approximate tier existed.
+void PrintNnLine(size_t i, const NNCellIndex::QueryResult& r,
+                 const ApproxOptions& approx) {
+  std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu", i,
+              static_cast<unsigned long long>(r.id), r.dist, r.candidates);
+  if (approx.enabled()) {
+    std::printf(" approx=%d visits=%llu bound=%.6f",
+                r.approx.approximate ? 1 : 0,
+                static_cast<unsigned long long>(r.approx.leaf_visits),
+                r.approx.bound);
+  }
+  std::printf("\n");
+}
+
 // The batch/serial/knn answer paths, shared verbatim between the plain and
 // the sharded index (whose query API mirrors NNCellIndex and answers
 // bit-identically; docs/SHARDING.md).
 template <typename Index>
 int RunQueries(Index& index, const PointSet& queries, size_t k,
-               size_t threads) {
+               size_t threads, const ApproxOptions& approx) {
   if (k == 1 && (threads == 0 || threads > 1)) {
     // Batched answer path: results are identical to the serial loop below,
     // computed by concurrent readers.
-    auto results = index.QueryBatch(queries);
+    auto results = approx.enabled() ? index.QueryBatch(queries, approx)
+                                    : index.QueryBatch(queries);
     if (!results.ok()) {
       std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
       return 1;
     }
     for (size_t i = 0; i < results->size(); ++i) {
-      const auto& r = (*results)[i];
-      std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu\n", i,
-                  static_cast<unsigned long long>(r.id), r.dist, r.candidates);
+      PrintNnLine(i, (*results)[i], approx);
     }
     return 0;
   }
   for (size_t i = 0; i < queries.size(); ++i) {
     if (k == 1) {
-      auto r = index.Query(queries[i]);
+      auto r = approx.enabled() ? index.Query(queries[i], approx)
+                                : index.Query(queries[i]);
       if (!r.ok()) {
         std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
         continue;
       }
-      std::printf("query %zu: nn id=%llu dist=%.6f candidates=%zu\n", i,
-                  static_cast<unsigned long long>(r->id), r->dist,
-                  r->candidates);
+      PrintNnLine(i, *r, approx);
     } else {
-      auto r = index.KnnQuery(queries[i], k);
+      auto r = approx.enabled() ? index.KnnQuery(queries[i], k, approx)
+                                : index.KnnQuery(queries[i], k);
       if (!r.ok()) {
         std::printf("query %zu: error %s\n", i, r.status().ToString().c_str());
         continue;
@@ -332,10 +359,39 @@ int RunQueries(Index& index, const PointSet& queries, size_t k,
         std::printf(" (%llu, %.6f)", static_cast<unsigned long long>(hit.id),
                     hit.dist);
       }
+      if (approx.enabled() && !r->empty()) {
+        const auto& cert = r->front().approx;
+        std::printf(" approx=%d visits=%llu bound=%.6f",
+                    cert.approximate ? 1 : 0,
+                    static_cast<unsigned long long>(cert.leaf_visits),
+                    cert.bound);
+      }
       std::printf("\n");
     }
   }
   return 0;
+}
+
+// Parses --epsilon / --max-visits into ApproxOptions; returns false (after
+// printing the reason) on a malformed value.
+bool ParseApproxFlags(int argc, char** argv, ApproxOptions* approx) {
+  if (const char* e = FlagValue(argc, argv, "--epsilon")) {
+    char* end = nullptr;
+    approx->epsilon = std::strtod(e, &end);
+    if (end == e || *end != '\0' || !(approx->epsilon >= 0.0)) {
+      std::fprintf(stderr, "--epsilon must be a finite value >= 0\n");
+      return false;
+    }
+  }
+  if (const char* m = FlagValue(argc, argv, "--max-visits")) {
+    char* end = nullptr;
+    approx->max_leaf_visits = std::strtoull(m, &end, 10);
+    if (end == m || *end != '\0') {
+      std::fprintf(stderr, "--max-visits must be a non-negative integer\n");
+      return false;
+    }
+  }
+  return true;
 }
 
 int Query(int argc, char** argv) {
@@ -373,7 +429,16 @@ int Query(int argc, char** argv) {
       opened->index->SetNumThreads(threads);
     }
   }
+  ApproxOptions approx;
+  if (!ParseApproxFlags(argc, argv, &approx)) return 2;
   const bool trace_mode = HasFlag(argc, argv, "--trace");
+  if (trace_mode && approx.enabled()) {
+    // The trace instruments the exact cell-index pipeline; the approximate
+    // tier bypasses it entirely (docs/APPROXIMATE.md).
+    std::fprintf(stderr,
+                 "--trace cannot be combined with --epsilon/--max-visits\n");
+    return 2;
+  }
   if (trace_mode && k == 1) {
     if (opened->sharded) {
       // Per-stage timelines are a single-index diagnostic; a sharded query
@@ -402,9 +467,9 @@ int Query(int argc, char** argv) {
     return 0;
   }
   if (opened->sharded) {
-    return RunQueries(*opened->sharded, *queries, k, threads);
+    return RunQueries(*opened->sharded, *queries, k, threads, approx);
   }
-  return RunQueries(*opened->index, *queries, k, threads);
+  return RunQueries(*opened->index, *queries, k, threads, approx);
 }
 
 // LP-effort probe for the stats workload: the sharded index has no
@@ -469,19 +534,33 @@ int RunStats(Index& index, const ShardedIndex* sharded, int argc,
   if (const char* v = FlagValue(argc, argv, "--seed")) {
     seed = std::strtoull(v, nullptr, 10);
   }
+  ApproxOptions approx;
+  if (!ParseApproxFlags(argc, argv, &approx)) return 2;
 
   metrics::Registry& registry = metrics::Registry::Global();
   registry.ResetAll();
   metrics::Registry::SetEnabled(true);
   Rng rng(seed);
   std::vector<double> q(index.dim());
+  // Aggregated certificate facts for the "approx" JSON object; stay zero
+  // (and unreported) when the probe runs through the exact tier.
+  uint64_t approx_approximate = 0;
+  uint64_t approx_terminated_early = 0;
+  uint64_t approx_truncated = 0;
+  uint64_t approx_leaf_visits = 0;
   for (size_t t = 0; t < probe_queries; ++t) {
     for (auto& v : q) v = rng.NextDouble();
-    auto r = index.Query(q);
+    auto r = approx.enabled() ? index.Query(q, approx) : index.Query(q);
     if (!r.ok()) {
       std::fprintf(stderr, "probe query failed: %s\n",
                    r.status().ToString().c_str());
       return 1;
+    }
+    if (approx.enabled()) {
+      approx_approximate += r->approx.approximate ? 1 : 0;
+      approx_terminated_early += r->approx.terminated_early ? 1 : 0;
+      approx_truncated += r->approx.truncated ? 1 : 0;
+      approx_leaf_visits += r->approx.leaf_visits;
     }
   }
   // Recompute (and discard) a few cell approximations so the LP pipeline
@@ -505,6 +584,25 @@ int RunStats(Index& index, const ShardedIndex* sharded, int argc,
       index.ValidateTree().empty() ? "OK" : "FAILED");
   out += buf;
   out += "}";
+  // The "approx" object is the constant {"enabled":0} unless the probe ran
+  // through the approximate tier, so consumers of the exact-tier schema
+  // see one stable token (docs/APPROXIMATE.md).
+  if (approx.enabled()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"approx\":{\"enabled\":1,\"epsilon\":%.6f,\"max_leaf_visits\":%llu,"
+        "\"queries\":%zu,\"approximate\":%llu,\"terminated_early\":%llu,"
+        "\"truncated\":%llu,\"leaf_visits\":%llu}",
+        approx.epsilon,
+        static_cast<unsigned long long>(approx.max_leaf_visits), probe_queries,
+        static_cast<unsigned long long>(approx_approximate),
+        static_cast<unsigned long long>(approx_terminated_early),
+        static_cast<unsigned long long>(approx_truncated),
+        static_cast<unsigned long long>(approx_leaf_visits));
+    out += buf;
+  } else {
+    out += ",\"approx\":{\"enabled\":0}";
+  }
   if (sharded != nullptr) {
     out += ",\"shard\":";
     out += sharded->StatsJson();

@@ -408,6 +408,35 @@ def check_tsa_escape(root, files, emit):
                              "the analysis can follow it"))
 
 
+@check("approx-certificate",
+       "code that sets a certificate's `approximate` flag must populate "
+       "leaf_visits and bound in the surrounding lines (an approximate "
+       "answer without its evidence is unverifiable; see "
+       "docs/APPROXIMATE.md)")
+def check_approx_certificate(root, files, emit):
+    report = suppressible("approx-certificate")
+    # An assignment, not a comparison: `approximate =` but never `==`.
+    assign_re = re.compile(r"\bapproximate\s*=(?!=)")
+    window = 12  # lines either side; every real certificate fill fits
+    for path, rel in files:
+        if not rel.startswith("src/"):
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            code = strip_comments_and_strings(line)
+            if not assign_re.search(code):
+                continue
+            lo = max(0, i - window)
+            hi = min(len(lines), i + window + 1)
+            context = "\n".join(lines[lo:hi])
+            if "leaf_visits" in context and "bound" in context:
+                continue
+            report(emit, lines, i, rel,
+                   "certificate marked approximate without leaf_visits and "
+                   "bound within %d lines; fill the whole ApproxCertificate "
+                   "so the (1+epsilon) claim stays checkable" % window)
+
+
 # --------------------------------------------------------------------------
 # Drivers
 

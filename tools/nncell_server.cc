@@ -56,8 +56,8 @@ class PlainBackend : public server::IndexBackend {
   size_t dim() const override { return index_->dim(); }
   bool durable() const override { return index_->durable(); }
   StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
-      const PointSet& queries) const override {
-    return index_->QueryBatch(queries);
+      const PointSet& queries, const ApproxOptions& approx) const override {
+    return index_->QueryBatch(queries, approx);
   }
   StatusOr<uint64_t> Insert(const std::vector<double>& point) override {
     return index_->Insert(point);
@@ -78,8 +78,8 @@ class ShardedBackend : public server::IndexBackend {
   size_t dim() const override { return index_->dim(); }
   bool durable() const override { return index_->durable(); }
   StatusOr<std::vector<NNCellIndex::QueryResult>> QueryBatch(
-      const PointSet& queries) const override {
-    return index_->QueryBatch(queries);
+      const PointSet& queries, const ApproxOptions& approx) const override {
+    return index_->QueryBatch(queries, approx);
   }
   StatusOr<uint64_t> Insert(const std::vector<double>& point) override {
     return index_->Insert(point);
